@@ -1,0 +1,212 @@
+// Package locind_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result and reports its cost. The benchmarks share one
+// lazily built QuickConfig world (building the world itself is benchmarked
+// separately); `cmd/locind` runs the same drivers at full paper scale.
+package locind_test
+
+import (
+	"sync"
+	"testing"
+
+	"locind/internal/cdn"
+	"locind/internal/expt"
+)
+
+var (
+	benchOnce  sync.Once
+	benchWorld *expt.World
+	benchErr   error
+)
+
+func world(b *testing.B) *expt.World {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchWorld, benchErr = expt.BuildWorld(expt.QuickConfig())
+		if benchErr == nil {
+			benchWorld.Timelines() // pre-generate so content benches measure analysis only
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchWorld
+}
+
+// BenchmarkWorldBuild measures synthesizing the entire substrate: AS graph,
+// address plan, 25 collectors, device trace, and content deployment.
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := expt.BuildWorld(expt.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w
+	}
+}
+
+// BenchmarkTable1 regenerates the §5 analytic table (closed forms, exact
+// enumeration, and simulation).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.RunTable1(63, 50, 200, 1)
+	}
+}
+
+// BenchmarkFig6 regenerates the distinct-locations-per-day CDFs.
+func BenchmarkFig6(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig6(w)
+	}
+}
+
+// BenchmarkFig7 regenerates the transitions-per-day CDFs.
+func BenchmarkFig7(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig7(w)
+	}
+}
+
+// BenchmarkFig8 regenerates the per-collector device update rates.
+func BenchmarkFig8(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig8(w)
+	}
+}
+
+// BenchmarkSensitivity regenerates the §6.2.2 robustness checks, including
+// the 7137-user-style IMAP proxy workload.
+func BenchmarkSensitivity(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunSensitivity(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the dominant-location dwell CDFs.
+func BenchmarkFig9(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig9(w)
+	}
+}
+
+// BenchmarkFig10 regenerates the indirection-stretch figure (iPlane build +
+// latency queries + AS-hop lower bound).
+func BenchmarkFig10(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig10(w)
+	}
+}
+
+// BenchmarkFig11a regenerates the popular-content mobility-extent CDF.
+func BenchmarkFig11a(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig11a(w)
+	}
+}
+
+// BenchmarkFig11b regenerates the popular-content per-collector update
+// rates under both forwarding strategies.
+func BenchmarkFig11b(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig11bc(w, cdn.Popular)
+	}
+}
+
+// BenchmarkFig11c regenerates the unpopular-content update rates.
+func BenchmarkFig11c(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig11bc(w, cdn.Unpopular)
+	}
+}
+
+// BenchmarkFig12 regenerates the FIB-aggregateability figure.
+func BenchmarkFig12(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunFig12(w)
+	}
+}
+
+// BenchmarkEnvelope regenerates the back-of-the-envelope block.
+func BenchmarkEnvelope(b *testing.B) {
+	w := world(b)
+	f8 := expt.RunFig8(w)
+	f9 := expt.RunFig9(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunEnvelope(w, f8, f9)
+	}
+}
+
+// BenchmarkStrategyAblation regenerates the §3.3.3 strategy comparison.
+func BenchmarkStrategyAblation(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.RunStrategyAblation(w)
+	}
+}
+
+// BenchmarkNetsimComparison regenerates the packet-level architecture
+// comparison.
+func BenchmarkNetsimComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunNetsim(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentTraffic regenerates the §3.3.3 forwarding-traffic
+// trade-off.
+func BenchmarkContentTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunContentTraffic(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompactRouting regenerates the §2.1 compact-routing sweep.
+func BenchmarkCompactRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunCompact(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionSweep regenerates the collector feed-count ablation.
+func BenchmarkSessionSweep(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.RunSessionSweep(w, []int{4, 16, 36}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Command locind regenerates the paper's evaluation: every table and figure
+// of "Towards a Quantitative Comparison of Location-Independent Network
+// Architectures" (SIGCOMM 2014), computed over the synthesized internetwork
+// and measured-workload substitutes described in DESIGN.md.
+//
+// Usage:
+//
+//	locind [flags] <experiment>...
+//
+// Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig12
+// sensitivity envelope ablate all
+//
+// Flags:
+//
+//	-seed N    master seed (default 20140817)
+//	-quick     run at ~1/10 scale (fast; used by CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"locind/internal/cdn"
+	"locind/internal/expt"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "master seed (0 = config default)")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	out := flag.String("out", "", "directory to export raw data (trace CSV, RIB dumps, figure series)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(args, *seed, *quick, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "locind:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] <experiment>...
+
+experiments:
+  table1       §5 analytic model: stretch vs update cost on toy topologies
+  fig6         distinct network locations per user per day
+  fig7         transitions across network locations per day
+  fig8         device mobility update rate per collector
+  fig9         dominant-location dwell fractions
+  fig10        indirection stretch: latency + AS-hop lower bound
+  fig11a       popular content mobility events per day
+  fig11b       popular content update rate per collector
+  fig11c       unpopular content update rate per collector
+  fig12        FIB aggregateability of popular names
+  sensitivity  §6.2.2 robustness: days, RIPE set, IMAP-proxy correlation
+  envelope     back-of-the-envelope update loads
+  ablate       forwarding-strategy and collector-feed ablations
+  netsim       packet-level comparison of the three architectures
+  all          everything above
+`)
+}
+
+var deviceExperiments = map[string]bool{
+	"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
+	"fig11a": true, "fig11b": true, "fig11c": true, "fig12": true,
+	"sensitivity": true, "envelope": true, "ablate": true,
+}
+
+func run(args []string, seed int64, quick bool, out string) error {
+	want := map[string]bool{}
+	for _, a := range args {
+		a = strings.ToLower(a)
+		if a == "all" {
+			want["table1"] = true
+			want["netsim"] = true
+			for k := range deviceExperiments {
+				want[k] = true
+			}
+			continue
+		}
+		if a != "table1" && a != "netsim" && !deviceExperiments[a] {
+			return fmt.Errorf("unknown experiment %q (run without arguments for the list)", a)
+		}
+		want[a] = true
+	}
+
+	cfg := expt.DefaultConfig()
+	if quick {
+		cfg = expt.QuickConfig()
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+
+	if want["table1"] {
+		n := 255
+		if quick {
+			n = 63
+		}
+		fmt.Println(expt.RunTable1(n, 100, 500, cfg.Seed).Render())
+	}
+	if want["netsim"] {
+		res, err := expt.RunNetsim(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		traffic, err := expt.RunContentTraffic(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(traffic.Render())
+		comp, err := expt.RunCompact(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(comp.Render())
+	}
+
+	needWorld := out != ""
+	for k := range want {
+		if deviceExperiments[k] {
+			needWorld = true
+		}
+	}
+	if !needWorld {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "building world (seed %d, %d ASes, %d users)...\n",
+		cfg.Seed, cfg.AS.Tier1+cfg.AS.Tier2+cfg.AS.Stubs, cfg.Device.Users)
+	w, err := expt.BuildWorld(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Run in the paper's presentation order.
+	order := []string{"fig6", "fig7", "fig8", "sensitivity", "envelope",
+		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12", "ablate"}
+	var fig8 expt.Fig8Result
+	var fig9 expt.Fig9Result
+	haveFig8, haveFig9 := false, false
+	ensure8 := func() expt.Fig8Result {
+		if !haveFig8 {
+			fig8 = expt.RunFig8(w)
+			haveFig8 = true
+		}
+		return fig8
+	}
+	ensure9 := func() expt.Fig9Result {
+		if !haveFig9 {
+			fig9 = expt.RunFig9(w)
+			haveFig9 = true
+		}
+		return fig9
+	}
+	for _, k := range order {
+		if !want[k] {
+			continue
+		}
+		switch k {
+		case "fig6":
+			fmt.Println(expt.RunFig6(w).Render())
+		case "fig7":
+			fmt.Println(expt.RunFig7(w).Render())
+		case "fig8":
+			fmt.Println(ensure8().Render())
+		case "sensitivity":
+			res, err := expt.RunSensitivity(w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+		case "envelope":
+			fmt.Println(expt.RunEnvelope(w, ensure8(), ensure9()).Render())
+		case "fig9":
+			fmt.Println(ensure9().Render())
+		case "fig10":
+			fmt.Println(expt.RunFig10(w).Render())
+		case "fig11a":
+			fmt.Println(expt.RunFig11a(w).Render())
+		case "fig11b":
+			fmt.Println(expt.RunFig11bc(w, cdn.Popular).Render())
+		case "fig11c":
+			fmt.Println(expt.RunFig11bc(w, cdn.Unpopular).Render())
+		case "fig12":
+			fmt.Println(expt.RunFig12(w).Render())
+		case "ablate":
+			fmt.Println(expt.RunStrategyAblation(w).Render())
+			sweep, err := expt.RunSessionSweep(w, []int{2, 4, 8, 16, 24, 36})
+			if err != nil {
+				return err
+			}
+			fmt.Println(sweep.Render())
+			intra, err := expt.RunIntradomain(cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(intra.Render())
+		}
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "exporting raw data to %s...\n", out)
+		if err := expt.ExportAll(w, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

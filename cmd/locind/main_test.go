@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig99"}, 0, true, ""); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunTable1Only(t *testing.T) {
+	// table1 needs no world; must complete quickly.
+	if err := run([]string{"table1"}, 7, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNetsimOnly(t *testing.T) {
+	if err := run([]string{"netsim"}, 7, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorldExperimentsAndExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world build is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"fig8", "fig12"}, 7, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
+		t.Fatalf("export missing: %v", err)
+	}
+}

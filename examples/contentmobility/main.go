@@ -1,0 +1,37 @@
+// Content mobility end to end: the §7 pipeline at reduced scale.
+//
+// It synthesizes the content namespace (popular domains with subdomains and
+// CDN delegation, plus the unpopular long tail), simulates three weeks of
+// hourly Addrs(d, t) timelines, and prints Figures 11(a)-(c) and 12 along
+// with the §3.3.3 forwarding-strategy ablation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locind/internal/cdn"
+	"locind/internal/expt"
+)
+
+func main() {
+	cfg := expt.QuickConfig()
+	fmt.Fprintln(os.Stderr, "building world...")
+	w, err := expt.BuildWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contentmobility:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(expt.RunFig11a(w).Render())
+	popular := expt.RunFig11bc(w, cdn.Popular)
+	fmt.Println(popular.Render())
+	fmt.Println(expt.RunFig11bc(w, cdn.Unpopular).Render())
+	fmt.Println(expt.RunFig12(w).Render())
+	fmt.Println(expt.RunStrategyAblation(w).Render())
+
+	fmt.Println("Conclusion (paper finding 3): popular content's address flux rarely moves")
+	fmt.Println("the closest copy, so best-port forwarding sees a far lower update rate than")
+	fmt.Println("controlled flooding, and the long tail of unpopular content induces almost")
+	fmt.Println("no updates at all — name-based routing suits content far better than devices.")
+}

@@ -1,0 +1,44 @@
+// Device mobility end to end: the §6 pipeline at reduced scale.
+//
+// It synthesizes an internetwork and RouteViews-like collectors, generates
+// a NomadLog-calibrated device trace, and prints Figures 6-10 plus the
+// sensitivity analysis and back-of-the-envelope loads — the full device
+// half of the paper's evaluation — in under a minute.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locind/internal/expt"
+)
+
+func main() {
+	cfg := expt.QuickConfig()
+	fmt.Fprintln(os.Stderr, "building world...")
+	w, err := expt.BuildWorld(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "devicemobility:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(expt.RunFig6(w).Render())
+	fmt.Println(expt.RunFig7(w).Render())
+	fig8 := expt.RunFig8(w)
+	fmt.Println(fig8.Render())
+	sens, err := expt.RunSensitivity(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "devicemobility:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sens.Render())
+	fig9 := expt.RunFig9(w)
+	fmt.Println(fig9.Render())
+	fmt.Println(expt.RunFig10(w).Render())
+	fmt.Println(expt.RunEnvelope(w, fig8, fig9).Render())
+
+	fmt.Println("Conclusion (paper finding 1): with pure name-based routing, some routers")
+	fmt.Printf("are impacted by up to %.0f%% of device mobility events, while indirection\n", fig8.Max()*100)
+	fmt.Println("and name resolution pay exactly one update per event — but indirection")
+	fmt.Println("pays the triangle-routing stretch of Figure 10.")
+}

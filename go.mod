@@ -1,0 +1,3 @@
+module locind
+
+go 1.22

@@ -1,0 +1,22 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"locind/internal/analytic"
+	"locind/internal/topology"
+)
+
+// The §5.1 chain result: indirection pays ~n/3 stretch for O(1/n) update
+// cost; name-based routing pays ~1/3 aggregate update cost for zero
+// stretch.
+func ExampleExactNameBased() {
+	g := topology.Chain(255)
+	ind := analytic.ExactIndirection(g)
+	nb := analytic.ExactNameBased(g)
+	fmt.Printf("indirection: stretch %.1f, update %.4f\n", ind.Stretch, ind.UpdateCost)
+	fmt.Printf("name-based:  stretch %.1f, update %.4f\n", nb.Stretch, nb.UpdateCost)
+	// Output:
+	// indirection: stretch 85.0, update 0.0039
+	// name-based:  stretch 0.0, update 0.3372
+}

@@ -1,0 +1,491 @@
+// Package asgraph models an AS-level Internet: autonomous systems with
+// customer-provider and peer-peer relationships, valley-free (Gao–Rexford)
+// route computation with standard export rules, tiered topology synthesis
+// with geographic regions, and Gao-style relationship inference.
+//
+// This package is the substitute for the real Internet topology behind the
+// paper's RouteViews/RIPE RIBs: internal/bgp builds collector RIBs out of the
+// best routes this package computes.
+package asgraph
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Rel classifies the business relationship an AS has with a neighbor, from
+// the AS's own point of view.
+type Rel int8
+
+const (
+	// RelCustomer means the neighbor is my customer (I provide transit).
+	RelCustomer Rel = iota
+	// RelPeer means a settlement-free peer.
+	RelPeer
+	// RelProvider means the neighbor is my provider.
+	RelProvider
+)
+
+// String returns the lowercase name of the relationship.
+func (r Rel) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	case RelProvider:
+		return "provider"
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Region is a coarse geographic region for an AS; collectors and user
+// populations are placed in regions, which is what makes distant collectors
+// (Mauritius, Tokyo) see little route diversity for US/EU user prefixes.
+type Region int8
+
+// The regions used by the paper's collector set.
+const (
+	NorthAmerica Region = iota
+	SouthAmerica
+	Europe
+	Asia
+	Oceania
+	Africa
+	numRegions
+)
+
+// String returns a short region code.
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "NA"
+	case SouthAmerica:
+		return "SA"
+	case Europe:
+		return "EU"
+	case Asia:
+		return "AS"
+	case Oceania:
+		return "OC"
+	case Africa:
+		return "AF"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// Tier is the position of an AS in the provider hierarchy: 1 is the
+// settlement-free core, higher numbers are farther down. Stubs are the
+// highest tier in a synthesized graph.
+type Tier uint8
+
+// Graph is an AS-level topology. ASes are dense integers 0..N-1.
+type Graph struct {
+	n         int
+	tier      []Tier
+	region    []Region
+	providers [][]int32 // providers[x] = ASes that provide transit to x
+	customers [][]int32 // customers[x] = ASes x provides transit to
+	peers     [][]int32
+}
+
+// NewGraph creates a graph of n ASes, all tier 0 / NorthAmerica until
+// configured via SetAS.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		n:         n,
+		tier:      make([]Tier, n),
+		region:    make([]Region, n),
+		providers: make([][]int32, n),
+		customers: make([][]int32, n),
+		peers:     make([][]int32, n),
+	}
+}
+
+// N returns the number of ASes.
+func (g *Graph) N() int { return g.n }
+
+// SetAS assigns tier and region metadata to AS x.
+func (g *Graph) SetAS(x int, tier Tier, region Region) {
+	g.tier[x] = tier
+	g.region[x] = region
+}
+
+// Tier returns the tier of AS x.
+func (g *Graph) Tier(x int) Tier { return g.tier[x] }
+
+// Region returns the region of AS x.
+func (g *Graph) Region(x int) Region { return g.region[x] }
+
+// AddC2P records that customer buys transit from provider.
+func (g *Graph) AddC2P(customer, provider int) error {
+	if err := g.check(customer, provider); err != nil {
+		return err
+	}
+	for _, p := range g.providers[customer] {
+		if int(p) == provider {
+			return fmt.Errorf("asgraph: duplicate c2p %d->%d", customer, provider)
+		}
+	}
+	g.providers[customer] = append(g.providers[customer], int32(provider))
+	g.customers[provider] = append(g.customers[provider], int32(customer))
+	return nil
+}
+
+// AddPeer records a settlement-free peering between a and b.
+func (g *Graph) AddPeer(a, b int) error {
+	if err := g.check(a, b); err != nil {
+		return err
+	}
+	for _, p := range g.peers[a] {
+		if int(p) == b {
+			return fmt.Errorf("asgraph: duplicate peering %d--%d", a, b)
+		}
+	}
+	g.peers[a] = append(g.peers[a], int32(b))
+	g.peers[b] = append(g.peers[b], int32(a))
+	return nil
+}
+
+func (g *Graph) check(a, b int) error {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return fmt.Errorf("asgraph: AS pair (%d,%d) out of range [0,%d)", a, b, g.n)
+	}
+	if a == b {
+		return fmt.Errorf("asgraph: self relationship at %d", a)
+	}
+	return nil
+}
+
+// Providers returns the providers of x. The slice must not be modified.
+func (g *Graph) Providers(x int) []int32 { return g.providers[x] }
+
+// Customers returns the customers of x.
+func (g *Graph) Customers(x int) []int32 { return g.customers[x] }
+
+// Peers returns the peers of x.
+func (g *Graph) Peers(x int) []int32 { return g.peers[x] }
+
+// Degree returns the total neighbor count of x across all relationships.
+func (g *Graph) Degree(x int) int {
+	return len(g.providers[x]) + len(g.customers[x]) + len(g.peers[x])
+}
+
+// RelOf returns the relationship of x with neighbor y, if any.
+func (g *Graph) RelOf(x, y int) (Rel, bool) {
+	for _, c := range g.customers[x] {
+		if int(c) == y {
+			return RelCustomer, true
+		}
+	}
+	for _, p := range g.peers[x] {
+		if int(p) == y {
+			return RelPeer, true
+		}
+	}
+	for _, p := range g.providers[x] {
+		if int(p) == y {
+			return RelProvider, true
+		}
+	}
+	return 0, false
+}
+
+// RouteClass classifies a selected route by how its first hop relates to the
+// selecting AS; the Gao–Rexford preference order is Customer > Peer >
+// Provider.
+type RouteClass int8
+
+// Route classes in decreasing preference order.
+const (
+	ClassNone RouteClass = iota // no route
+	ClassSelf                   // the destination itself
+	ClassCustomer
+	ClassPeer
+	ClassProvider
+)
+
+// String names the route class.
+func (c RouteClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassSelf:
+		return "self"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	}
+	return fmt.Sprintf("RouteClass(%d)", int(c))
+}
+
+// RouteTable holds, for a single destination AS, every other AS's selected
+// (policy-best) route: its class, AS-path length, and chosen next hop.
+type RouteTable struct {
+	Dest   int
+	class  []RouteClass
+	dist   []int32
+	parent []int32
+}
+
+// Class returns the selected route class at AS x (ClassNone if unreachable).
+func (rt *RouteTable) Class(x int) RouteClass { return rt.class[x] }
+
+// PathLen returns the AS-path length (hop count) of x's selected route to
+// the destination; -1 if x has no route. The destination itself has length 0.
+func (rt *RouteTable) PathLen(x int) int {
+	if rt.class[x] == ClassNone {
+		return -1
+	}
+	return int(rt.dist[x])
+}
+
+// NextHop returns the first hop of x's selected route (-1 if none; the
+// destination returns itself).
+func (rt *RouteTable) NextHop(x int) int {
+	if rt.class[x] == ClassNone {
+		return -1
+	}
+	return int(rt.parent[x])
+}
+
+// Has reports whether x has any route to the destination.
+func (rt *RouteTable) Has(x int) bool { return rt.class[x] != ClassNone }
+
+// Path returns the full AS path from x to the destination, inclusive of both
+// ends; nil if x has no route.
+func (rt *RouteTable) Path(x int) []int {
+	if rt.class[x] == ClassNone {
+		return nil
+	}
+	path := make([]int, 0, rt.dist[x]+1)
+	for v := x; ; v = int(rt.parent[v]) {
+		path = append(path, v)
+		if v == rt.Dest {
+			break
+		}
+		if len(path) > len(rt.class) {
+			panic("asgraph: cycle in route table")
+		}
+	}
+	return path
+}
+
+// RoutesTo computes the selected valley-free route of every AS toward
+// destination d, following Gao–Rexford selection (customer > peer >
+// provider, then shortest AS path, then lowest next-hop ID) and export
+// rules (routes learned from peers or providers are exported only to
+// customers).
+//
+// The computation runs in three stages:
+//  1. customer routes — BFS from d along customer→provider edges,
+//  2. peer routes — one peer hop into an AS that selected a customer route,
+//  3. provider routes — Dijkstra down provider→customer edges seeded with
+//     every AS that already selected a route (an AS exports its selected
+//     route, whatever its class, to its customers).
+func (g *Graph) RoutesTo(d int) *RouteTable {
+	if d < 0 || d >= g.n {
+		panic(fmt.Sprintf("asgraph: destination %d out of range", d))
+	}
+	rt := &RouteTable{
+		Dest:   d,
+		class:  make([]RouteClass, g.n),
+		dist:   make([]int32, g.n),
+		parent: make([]int32, g.n),
+	}
+	for i := range rt.parent {
+		rt.parent[i] = -1
+		rt.dist[i] = -1
+	}
+	rt.class[d] = ClassSelf
+	rt.dist[d] = 0
+	rt.parent[d] = int32(d)
+
+	// Stage 1: customer routes. BFS up the provider hierarchy: if x's
+	// customer c has a customer route (or is d), x hears it. Within the
+	// class, shorter paths first (BFS level order), tie-break on lowest
+	// next-hop ID by scanning candidates per level.
+	frontier := []int32{int32(d)}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, cv := range frontier {
+			for _, pr := range g.providers[cv] {
+				if rt.class[pr] == ClassNone {
+					rt.class[pr] = ClassCustomer
+					rt.dist[pr] = rt.dist[cv] + 1
+					rt.parent[pr] = cv
+					next = append(next, pr)
+				} else if rt.class[pr] == ClassCustomer && rt.dist[pr] == rt.dist[cv]+1 && cv < rt.parent[pr] {
+					rt.parent[pr] = cv // equal length: prefer lower next-hop ID
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Stage 2: peer routes. x hears from peer p iff p selected a customer
+	// route (or p is d); x uses it only if x has no customer route.
+	type peerCand struct {
+		dist   int32
+		parent int32
+	}
+	peerBest := make(map[int32]peerCand)
+	for x := 0; x < g.n; x++ {
+		if rt.class[x] != ClassNone {
+			continue
+		}
+		for _, p := range g.peers[x] {
+			var pd int32
+			switch rt.class[p] {
+			case ClassSelf:
+				pd = 0
+			case ClassCustomer:
+				pd = rt.dist[p]
+			default:
+				continue
+			}
+			cand := peerCand{dist: pd + 1, parent: p}
+			if cur, ok := peerBest[int32(x)]; !ok || cand.dist < cur.dist ||
+				(cand.dist == cur.dist && cand.parent < cur.parent) {
+				peerBest[int32(x)] = cand
+			}
+		}
+	}
+	for x, cand := range peerBest {
+		rt.class[x] = ClassPeer
+		rt.dist[x] = cand.dist
+		rt.parent[x] = cand.parent
+	}
+
+	// Stage 3: provider routes. Every AS with a selected route exports it to
+	// its customers; a customer lacking customer/peer routes selects the
+	// shortest such provider route. Dijkstra over provider→customer edges.
+	pq := &asHeap{}
+	for x := 0; x < g.n; x++ {
+		if rt.class[x] != ClassNone {
+			heap.Push(pq, asItem{as: int32(x), dist: rt.dist[x]})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(asItem)
+		x := it.as
+		if it.dist > rt.dist[x] {
+			continue // stale entry
+		}
+		for _, c := range g.customers[x] {
+			nd := rt.dist[x] + 1
+			switch rt.class[c] {
+			case ClassNone:
+				rt.class[c] = ClassProvider
+				rt.dist[c] = nd
+				rt.parent[c] = x
+				heap.Push(pq, asItem{as: c, dist: nd})
+			case ClassProvider:
+				if nd < rt.dist[c] || (nd == rt.dist[c] && x < rt.parent[c]) {
+					if nd < rt.dist[c] {
+						rt.dist[c] = nd
+						rt.parent[c] = x
+						heap.Push(pq, asItem{as: c, dist: nd})
+					} else {
+						rt.parent[c] = x
+					}
+				}
+			}
+		}
+	}
+	return rt
+}
+
+type asItem struct {
+	as   int32
+	dist int32
+}
+
+type asHeap []asItem
+
+func (h asHeap) Len() int { return len(h) }
+func (h asHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].as < h[j].as
+}
+func (h asHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *asHeap) Push(x interface{}) { *h = append(*h, x.(asItem)) }
+func (h *asHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestUndirectedHops ignores policy entirely and returns the hop
+// distance from src to every AS over the physical adjacency (all
+// relationship types). This is the paper's Fig. 10 lower-bound technique:
+// "the length of the shortest AS path ... using the Internet's AS-level
+// physical topology even if this route may not exist in the AS-level routing
+// topology". Unreachable ASes get -1.
+func (g *Graph) ShortestUndirectedHops(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		relax := func(vs []int32) {
+			for _, v := range vs {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		relax(g.providers[u])
+		relax(g.customers[u])
+		relax(g.peers[u])
+	}
+	return dist
+}
+
+// ValleyFree reports whether the AS path (a sequence of AS IDs) obeys the
+// valley-free property under g's relationships: zero or more customer→
+// provider steps, at most one peer step, then zero or more provider→
+// customer steps. Used by tests as an independent check on RoutesTo.
+func (g *Graph) ValleyFree(path []int) bool {
+	const (
+		up = iota
+		peered
+		down
+	)
+	state := up
+	for i := 0; i+1 < len(path); i++ {
+		rel, ok := g.RelOf(path[i], path[i+1])
+		if !ok {
+			return false
+		}
+		switch rel {
+		case RelProvider: // step up
+			if state != up {
+				return false
+			}
+		case RelPeer:
+			if state != up {
+				return false
+			}
+			state = peered
+		case RelCustomer: // step down
+			state = down
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"locind/internal/asgraph"
+	"locind/internal/netaddr"
+)
+
+func route(prefix string, nh, lp, med int, rel asgraph.Rel, path ...int) Route {
+	return Route{
+		Prefix:    netaddr.MustParsePrefix(prefix),
+		NextHop:   nh,
+		LocalPref: lp,
+		MED:       med,
+		ASPath:    path,
+		Rel:       rel,
+	}
+}
+
+func TestBetterRanking(t *testing.T) {
+	base := route("10.0.0.0/16", 5, 0, 0, asgraph.RelPeer, 5, 9, 12)
+	cases := []struct {
+		name string
+		a, b Route
+		want bool
+	}{
+		{"higher localpref wins", route("10.0.0.0/16", 9, 100, 0, asgraph.RelProvider, 9, 1, 2, 3, 4), base, true},
+		{"customer beats peer", route("10.0.0.0/16", 9, 0, 0, asgraph.RelCustomer, 9, 1, 2, 3, 4), base, true},
+		{"peer beats provider", base, route("10.0.0.0/16", 9, 0, 0, asgraph.RelProvider, 9, 12), true},
+		{"shorter path wins in class", route("10.0.0.0/16", 9, 0, 9, asgraph.RelPeer, 9, 12), base, true},
+		{"lower MED wins on tie", route("10.0.0.0/16", 9, 0, 0, asgraph.RelPeer, 9, 1, 12), route("10.0.0.0/16", 8, 0, 1, asgraph.RelPeer, 8, 2, 12), true},
+		{"lower next hop final tiebreak", route("10.0.0.0/16", 4, 0, 0, asgraph.RelPeer, 4, 1, 12), route("10.0.0.0/16", 7, 0, 0, asgraph.RelPeer, 7, 2, 12), true},
+	}
+	for _, c := range cases {
+		if got := Better(c.a, c.b); got != c.want {
+			t.Errorf("%s: Better = %v, want %v", c.name, got, c.want)
+		}
+		if c.want && Better(c.b, c.a) {
+			t.Errorf("%s: Better not antisymmetric", c.name)
+		}
+	}
+}
+
+func TestRoutePathLenOrigin(t *testing.T) {
+	r := route("10.0.0.0/16", 5, 0, 0, asgraph.RelPeer, 5, 9, 12)
+	if r.PathLen() != 2 || r.Origin() != 12 {
+		t.Errorf("PathLen=%d Origin=%d", r.PathLen(), r.Origin())
+	}
+	empty := Route{}
+	if empty.PathLen() != 0 || empty.Origin() != -1 {
+		t.Error("empty route accessors wrong")
+	}
+	if r.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestRIBBestAndFIB(t *testing.T) {
+	rib := NewRIB()
+	p := netaddr.MustParsePrefix("10.0.0.0/16")
+	rib.Add(route("10.0.0.0/16", 7, 0, 0, asgraph.RelProvider, 7, 12))
+	rib.Add(route("10.0.0.0/16", 5, 0, 0, asgraph.RelPeer, 5, 9, 12))
+	rib.Add(route("10.0.0.0/16", 3, 0, 0, asgraph.RelPeer, 3, 8, 11, 12))
+	best, ok := rib.Best(p)
+	if !ok || best.NextHop != 5 {
+		t.Fatalf("Best = %+v, %v; want next hop 5 (peer, shortest)", best, ok)
+	}
+	if _, ok := rib.Best(netaddr.MustParsePrefix("99.0.0.0/8")); ok {
+		t.Fatal("missing prefix should have no best")
+	}
+	if rib.NumPrefixes() != 1 || rib.NumRoutes() != 3 {
+		t.Fatalf("counts: %d prefixes %d routes", rib.NumPrefixes(), rib.NumRoutes())
+	}
+	if got := rib.Routes(p); len(got) != 3 {
+		t.Fatalf("Routes len = %d", len(got))
+	}
+
+	fib := rib.DeriveFIB()
+	if fib.Len() != 1 {
+		t.Fatalf("FIB len = %d", fib.Len())
+	}
+	port, ok := fib.Port(netaddr.MustParseAddr("10.0.5.5"))
+	if !ok || port != 5 {
+		t.Fatalf("FIB port = %d, %v", port, ok)
+	}
+	if _, ok := fib.Port(netaddr.MustParseAddr("99.0.0.1")); ok {
+		t.Fatal("uncovered address should miss")
+	}
+	rt, ok := fib.RouteFor(netaddr.MustParseAddr("10.0.5.5"))
+	if !ok || rt.NextHop != 5 {
+		t.Fatal("RouteFor wrong")
+	}
+	if fib.NextHopDegree() != 1 {
+		t.Fatalf("NextHopDegree = %d", fib.NextHopDegree())
+	}
+}
+
+func TestRIBPrefixesSorted(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(route("30.0.0.0/8", 1, 0, 0, asgraph.RelPeer, 1, 2))
+	rib.Add(route("10.0.0.0/8", 1, 0, 0, asgraph.RelPeer, 1, 2))
+	rib.Add(route("20.0.0.0/8", 1, 0, 0, asgraph.RelPeer, 1, 2))
+	ps := rib.Prefixes()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Compare(ps[i]) >= 0 {
+			t.Fatalf("prefixes not sorted: %v", ps)
+		}
+	}
+}
+
+func TestFIBLongestPrefixDisplacement(t *testing.T) {
+	// Figure 2 at the FIB level: a /24 and /16 with different ports.
+	fib := &FIB{}
+	fib.Insert(netaddr.MustParsePrefix("22.33.44.0/24"), Route{NextHop: 5})
+	fib.Insert(netaddr.MustParsePrefix("22.33.0.0/16"), Route{NextHop: 3})
+	p1, _ := fib.Port(netaddr.MustParseAddr("22.33.44.55"))
+	p2, _ := fib.Port(netaddr.MustParseAddr("22.33.88.55"))
+	if p1 != 5 || p2 != 3 {
+		t.Fatalf("ports = %d, %d", p1, p2)
+	}
+	if fib.NextHopDegree() != 2 {
+		t.Fatalf("degree = %d", fib.NextHopDegree())
+	}
+	count := 0
+	fib.Walk(func(netaddr.Prefix, Route) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("walk visited %d", count)
+	}
+}
+
+func TestNewPrefixTable(t *testing.T) {
+	g := asgraph.NewGraph(4)
+	pt, err := NewPrefixTable(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.NumPrefixes() != 4*3 {
+		t.Fatalf("NumPrefixes = %d", pt.NumPrefixes())
+	}
+	if pt.PrefixOf(2).String() != "0.2.0.0/16" {
+		t.Fatalf("PrefixOf(2) = %v", pt.PrefixOf(2))
+	}
+	a := pt.AddrIn(2, 77)
+	if origin, ok := pt.OriginOf(a); !ok || origin != 2 {
+		t.Fatalf("OriginOf = %d, %v", origin, ok)
+	}
+	// The /24 more-specific resolves to the same origin.
+	if origin, _ := pt.OriginOf(netaddr.MustParseAddr("0.2.1.9")); origin != 2 {
+		t.Fatal("more-specific origin wrong")
+	}
+}
+
+func TestNewPrefixTableTooBig(t *testing.T) {
+	// Can't actually allocate 2^16+1 ASes cheaply... we can: NewGraph is slices.
+	g := asgraph.NewGraph(1<<16 + 1)
+	if _, err := NewPrefixTable(g, 0); err == nil {
+		t.Fatal("oversized graph should fail")
+	}
+}
+
+func testInternet(t testing.TB, seed int64) (*asgraph.Graph, *PrefixTable) {
+	cfg := asgraph.DefaultSynthConfig()
+	cfg.Tier2 = 60
+	cfg.Stubs = 500
+	g, err := asgraph.Synthesize(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewPrefixTable(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, pt
+}
+
+func TestBuildCollectors(t *testing.T) {
+	g, pt := testInternet(t, 4)
+	rng := rand.New(rand.NewSource(8))
+	cols, err := BuildCollectors(g, pt, RouteViewsSpecs(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 12 {
+		t.Fatalf("collectors = %d", len(cols))
+	}
+	byName := map[string]*Collector{}
+	for _, c := range cols {
+		byName[c.Name] = c
+		if c.FIB == nil || c.RIB == nil {
+			t.Fatalf("%s missing RIB/FIB", c.Name)
+		}
+		// Every announced prefix must be forwardable at every collector
+		// (the graph is fully reachable).
+		if c.FIB.Len() != pt.NumPrefixes() {
+			t.Fatalf("%s FIB has %d entries, want %d", c.Name, c.FIB.Len(), pt.NumPrefixes())
+		}
+		// Ports must be actual session peers.
+		peers := map[int]bool{}
+		for _, s := range c.Sessions {
+			peers[s.PeerAS] = true
+		}
+		c.FIB.Walk(func(_ netaddr.Prefix, rt Route) bool {
+			if !peers[rt.NextHop] {
+				t.Fatalf("%s forwards via non-session AS%d", c.Name, rt.NextHop)
+			}
+			return true
+		})
+	}
+	// A customer-feed collector funnels everything through its feed.
+	mau := byName["Mauritius"]
+	if mau.FIB.NextHopDegree() != 1 {
+		t.Fatalf("Mauritius next-hop degree = %d, want 1 (customer feed dominates)", mau.FIB.NextHopDegree())
+	}
+	// Oregon-1 must have much higher next-hop diversity than Georgia —
+	// the paper's explanation for Figure 8's shape.
+	or1, geo := byName["Oregon-1"], byName["Georgia"]
+	if or1.FIB.NextHopDegree() <= geo.FIB.NextHopDegree() {
+		t.Fatalf("Oregon-1 degree %d should exceed Georgia degree %d",
+			or1.FIB.NextHopDegree(), geo.FIB.NextHopDegree())
+	}
+	t.Logf("next-hop degrees: Oregon-1=%d Georgia=%d Mauritius=%d",
+		or1.FIB.NextHopDegree(), geo.FIB.NextHopDegree(), mau.FIB.NextHopDegree())
+}
+
+func TestBuildCollectorsDeterministic(t *testing.T) {
+	g, pt := testInternet(t, 4)
+	c1, err := BuildCollectors(g, pt, RouteViewsSpecs()[:3], rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BuildCollectors(g, pt, RouteViewsSpecs()[:3], rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c1 {
+		if c1[i].HostAS != c2[i].HostAS {
+			t.Fatalf("host AS diverged for %s", c1[i].Name)
+		}
+		for as := 0; as < g.N(); as += 13 {
+			a := pt.AddrIn(as, 1)
+			p1, _ := c1[i].FIB.Port(a)
+			p2, _ := c2[i].FIB.Port(a)
+			if p1 != p2 {
+				t.Fatalf("FIB diverged at %s for AS%d", c1[i].Name, as)
+			}
+		}
+	}
+}
+
+func TestRIPESpecsShape(t *testing.T) {
+	specs := RIPESpecs()
+	if len(specs) != 13 {
+		t.Fatalf("RIPE specs = %d, want 13", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate collector name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.NumSess < 1 {
+			t.Fatalf("%s has no sessions", s.Name)
+		}
+	}
+}
+
+func TestBadSpec(t *testing.T) {
+	g, pt := testInternet(t, 4)
+	_, err := BuildCollectors(g, pt, []Spec{{Name: "bad", NumSess: 0}}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("zero-session spec should fail")
+	}
+}
+
+func BenchmarkDeriveFIB(b *testing.B) {
+	g, pt := testInternet(b, 4)
+	rng := rand.New(rand.NewSource(8))
+	cols, err := BuildCollectors(g, pt, RouteViewsSpecs()[:1], rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rib := cols[0].RIB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rib.DeriveFIB()
+	}
+}

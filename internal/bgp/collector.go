@@ -1,0 +1,252 @@
+package bgp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"locind/internal/asgraph"
+)
+
+// Session is one BGP feed into a collector: the peer AS providing it, the
+// business relationship of the collector's host AS to that peer (which,
+// following §6.2.1, stands in for local preference during ranking), and the
+// session's fixed MED — a consistent early-exit-style preference among
+// equal-length routes. Mega-transit feeds carry MED 1; other feeds carry a
+// deterministic MED in [0, 4), so roughly a quarter of direct provider
+// feeds outrank the mega on ties. This is what makes port diversity (and
+// hence Figure 8's update rate) grow with a collector's feed count, the way
+// it does across the real Oregon/Georgia/Mauritius collectors.
+type Session struct {
+	PeerAS int
+	Rel    asgraph.Rel
+	MED    int
+}
+
+// Collector is a RouteViews/RIPE-like route collector: a host AS, its
+// sessions, and the RIB/FIB assembled from the feeds.
+type Collector struct {
+	Name     string
+	Region   asgraph.Region
+	HostAS   int
+	Sessions []Session
+	RIB      *RIB
+	FIB      *FIB
+}
+
+// Spec describes a collector to synthesize. The session count and the
+// presence of a dominant customer feed are what differentiate the
+// high-diversity Oregon collectors from the single-feed Mauritius/Tokyo
+// ones in Figure 8.
+type Spec struct {
+	Name    string
+	Region  asgraph.Region
+	NumSess int
+	// GlobalFrac is the fraction of session peers drawn from outside the
+	// collector's region.
+	GlobalFrac float64
+	// CustomerFeed marks the first session as a transit-customer feed;
+	// because customer routes outrank everything, such a collector funnels
+	// essentially all traffic through one port and sees almost no updates.
+	CustomerFeed bool
+}
+
+// RouteViewsSpecs returns the 12 collectors of Figure 8 with session
+// profiles chosen to mirror the real collectors' peer degrees: the Oregon
+// route-views boxes famously carry dozens of full feeds, Georgia has only a
+// handful, and the distant collectors are dominated by a single feed.
+func RouteViewsSpecs() []Spec {
+	return []Spec{
+		{Name: "Oregon-1", Region: asgraph.NorthAmerica, NumSess: 36, GlobalFrac: 0.4},
+		{Name: "Oregon-2", Region: asgraph.NorthAmerica, NumSess: 33, GlobalFrac: 0.4},
+		{Name: "Oregon-3", Region: asgraph.NorthAmerica, NumSess: 30, GlobalFrac: 0.35},
+		{Name: "Oregon-4", Region: asgraph.NorthAmerica, NumSess: 28, GlobalFrac: 0.35},
+		{Name: "California-1", Region: asgraph.NorthAmerica, NumSess: 18, GlobalFrac: 0.3},
+		{Name: "Georgia", Region: asgraph.NorthAmerica, NumSess: 4, GlobalFrac: 0.25},
+		{Name: "Virginia", Region: asgraph.NorthAmerica, NumSess: 14, GlobalFrac: 0.3},
+		{Name: "Saopaulo-1", Region: asgraph.SouthAmerica, NumSess: 9, GlobalFrac: 0.3},
+		{Name: "London-1", Region: asgraph.Europe, NumSess: 16, GlobalFrac: 0.35},
+		{Name: "Mauritius", Region: asgraph.Africa, NumSess: 2, GlobalFrac: 0.5, CustomerFeed: true},
+		{Name: "Tokyo", Region: asgraph.Asia, NumSess: 3, GlobalFrac: 0.3, CustomerFeed: true},
+		{Name: "Sydney", Region: asgraph.Oceania, NumSess: 5, GlobalFrac: 0.4},
+	}
+}
+
+// RIPESpecs returns 13 RIPE-RIS-like collectors in 13 cities, 10 of them in
+// locations distinct from the RouteViews set, used by the paper's
+// sensitivity analysis.
+func RIPESpecs() []Spec {
+	return []Spec{
+		{Name: "Amsterdam", Region: asgraph.Europe, NumSess: 30, GlobalFrac: 0.4},
+		{Name: "London-RIPE", Region: asgraph.Europe, NumSess: 22, GlobalFrac: 0.4},
+		{Name: "Paris", Region: asgraph.Europe, NumSess: 14, GlobalFrac: 0.3},
+		{Name: "Geneva", Region: asgraph.Europe, NumSess: 10, GlobalFrac: 0.3},
+		{Name: "Vienna", Region: asgraph.Europe, NumSess: 12, GlobalFrac: 0.3},
+		{Name: "Stockholm", Region: asgraph.Europe, NumSess: 9, GlobalFrac: 0.25},
+		{Name: "Milan", Region: asgraph.Europe, NumSess: 8, GlobalFrac: 0.25},
+		{Name: "NewYork", Region: asgraph.NorthAmerica, NumSess: 20, GlobalFrac: 0.35},
+		{Name: "Palo-Alto", Region: asgraph.NorthAmerica, NumSess: 17, GlobalFrac: 0.35},
+		{Name: "Miami", Region: asgraph.NorthAmerica, NumSess: 8, GlobalFrac: 0.3},
+		{Name: "Moscow", Region: asgraph.Europe, NumSess: 7, GlobalFrac: 0.25},
+		{Name: "Tokyo-RIPE", Region: asgraph.Asia, NumSess: 4, GlobalFrac: 0.3, CustomerFeed: true},
+		{Name: "Johannesburg", Region: asgraph.Africa, NumSess: 3, GlobalFrac: 0.4, CustomerFeed: true},
+	}
+}
+
+// BuildCollectors synthesizes collectors for the given specs over graph g
+// and address plan pt. All specs share one pass of per-destination route
+// computation, so building the RouteViews and RIPE sets together costs the
+// same as building either alone.
+func BuildCollectors(g *asgraph.Graph, pt *PrefixTable, specs []Spec, rng *rand.Rand) ([]*Collector, error) {
+	cols := make([]*Collector, 0, len(specs))
+	for _, spec := range specs {
+		c, err := newCollector(g, spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+
+	// Group announced prefixes by origin so each origin's route table is
+	// computed exactly once.
+	byOrigin := map[int][]PrefixOrigin{}
+	for _, po := range pt.All() {
+		byOrigin[po.Origin] = append(byOrigin[po.Origin], po)
+	}
+	for origin := 0; origin < g.N(); origin++ {
+		pos := byOrigin[origin]
+		if len(pos) == 0 {
+			continue
+		}
+		rt := g.RoutesTo(origin)
+		for _, c := range cols {
+			for _, s := range c.Sessions {
+				if !rt.Has(s.PeerAS) {
+					continue
+				}
+				path := rt.Path(s.PeerAS)
+				for _, po := range pos {
+					c.RIB.Add(Route{
+						Prefix:  po.Prefix,
+						NextHop: s.PeerAS,
+						MED:     s.MED,
+						ASPath:  path,
+						Rel:     s.Rel,
+					})
+				}
+			}
+		}
+	}
+	for _, c := range cols {
+		c.FIB = c.RIB.DeriveFIB()
+	}
+	return cols, nil
+}
+
+func newCollector(g *asgraph.Graph, spec Spec, rng *rand.Rand) (*Collector, error) {
+	if spec.NumSess < 1 {
+		return nil, fmt.Errorf("bgp: collector %q needs at least one session", spec.Name)
+	}
+	// Candidate peers: transit ASes (tiers 1-2). Local pool first. The
+	// lowest-ID tier-2 of a region is its mega-transit.
+	var local, global []int
+	megaByRegion := map[asgraph.Region]int{}
+	for x := 0; x < g.N(); x++ {
+		t := g.Tier(x)
+		if t != 1 && t != 2 {
+			continue
+		}
+		if t == 2 {
+			if _, ok := megaByRegion[g.Region(x)]; !ok {
+				megaByRegion[g.Region(x)] = x // tier-2 IDs ascend, first is the mega
+			}
+		}
+		if g.Region(x) == spec.Region {
+			local = append(local, x)
+		} else {
+			global = append(global, x)
+		}
+	}
+	if len(local) == 0 {
+		local = global
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("bgp: no transit ASes available for collector %q", spec.Name)
+	}
+	host := local[rng.Intn(len(local))]
+	c := &Collector{Name: spec.Name, Region: spec.Region, HostAS: host, RIB: NewRIB()}
+	seen := map[int]bool{host: true}
+	// Every real collector's first and steadiest feeds are the large
+	// transit networks: seed the session list with the regional mega (and,
+	// for well-fed collectors, every region's mega) before random fill.
+	// Customer-feed collectors keep their dominant feed first instead.
+	if !spec.CustomerFeed {
+		seedMegas := []int{}
+		if m, ok := megaByRegion[spec.Region]; ok {
+			seedMegas = append(seedMegas, m)
+		}
+		if spec.NumSess >= 8 {
+			regions := []asgraph.Region{
+				asgraph.NorthAmerica, asgraph.SouthAmerica, asgraph.Europe,
+				asgraph.Asia, asgraph.Oceania, asgraph.Africa,
+			}
+			for _, r := range regions {
+				if m, ok := megaByRegion[r]; ok && r != spec.Region {
+					seedMegas = append(seedMegas, m)
+				}
+			}
+		}
+		for _, m := range seedMegas {
+			if len(c.Sessions) >= spec.NumSess || seen[m] {
+				continue
+			}
+			seen[m] = true
+			c.Sessions = append(c.Sessions, Session{PeerAS: m, Rel: asgraph.RelPeer, MED: 1})
+		}
+	}
+	for len(c.Sessions) < spec.NumSess {
+		pool := local
+		if rng.Float64() < spec.GlobalFrac && len(global) > 0 {
+			pool = global
+		}
+		peer := pool[rng.Intn(len(pool))]
+		if seen[peer] {
+			// Exhaustion guard: if we have consumed nearly the whole pool,
+			// accept fewer sessions rather than spinning.
+			if len(seen) >= len(local)+len(global) {
+				break
+			}
+			continue
+		}
+		seen[peer] = true
+		rel := asgraph.RelPeer
+		if spec.CustomerFeed && len(c.Sessions) == 0 {
+			rel = asgraph.RelCustomer
+		}
+		c.Sessions = append(c.Sessions, Session{PeerAS: peer, Rel: rel, MED: stableMED(peer)})
+	}
+	return c, nil
+}
+
+// stableMED derives a deterministic per-peer MED in [0, 4) — a fixed
+// session priority, constant across prefixes, the way consistent early-exit
+// preferences behave in real tables. The paper found local_preference
+// uniformly zero in the RouteViews dumps, leaving relationship, path length,
+// and MED as the deciding rules (§6.2.1).
+func stableMED(peer int) int {
+	h := fnv.New32a()
+	var buf [4]byte
+	buf[0] = byte(peer)
+	buf[1] = byte(peer >> 8)
+	buf[2] = byte(peer >> 16)
+	buf[3] = byte(peer >> 24)
+	h.Write(buf[:])
+	return int(h.Sum32() % 4)
+}
+
+// Synthesized feeds carry MED 0, matching what the paper found in the
+// RouteViews dumps ("the numerical value of local_preference is uniformly
+// 0"; MEDs are likewise rarely decisive). Path-length ties therefore break
+// on the lowest next-hop AS, a consistent preference that concentrates
+// ports on the most widely peered session — the behaviour real collector
+// tables exhibit. The MED rule itself stays implemented and unit-tested.

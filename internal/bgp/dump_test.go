@@ -1,0 +1,89 @@
+package bgp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"locind/internal/asgraph"
+	"locind/internal/netaddr"
+)
+
+func TestRIBDumpRoundTrip(t *testing.T) {
+	g, pt := testInternet(t, 4)
+	cols, err := BuildCollectors(g, pt, RouteViewsSpecs()[:2], rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := cols[0].RIB
+
+	var buf strings.Builder
+	if err := WriteRIB(&buf, cols[0].Name, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRIB(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPrefixes() != orig.NumPrefixes() || back.NumRoutes() != orig.NumRoutes() {
+		t.Fatalf("round trip lost routes: %d/%d vs %d/%d",
+			back.NumPrefixes(), back.NumRoutes(), orig.NumPrefixes(), orig.NumRoutes())
+	}
+	// Decision process must agree on every prefix, and derived FIBs must
+	// forward identically.
+	fib1 := orig.DeriveFIB()
+	fib2 := back.DeriveFIB()
+	for _, p := range orig.Prefixes() {
+		b1, _ := orig.Best(p)
+		b2, _ := back.Best(p)
+		if b1.NextHop != b2.NextHop || b1.PathLen() != b2.PathLen() || b1.Rel != b2.Rel {
+			t.Fatalf("best route diverged for %v: %v vs %v", p, b1, b2)
+		}
+		a := p.Nth(7)
+		p1, _ := fib1.Port(a)
+		p2, _ := fib2.Port(a)
+		if p1 != p2 {
+			t.Fatalf("FIB diverged at %v", a)
+		}
+	}
+}
+
+func TestReadRIBTolerance(t *testing.T) {
+	in := `# a comment
+
+0.42.0.0/16|17|0|1|peer|17 204 298
+0.42.0.0/16|9|0|0|customer|9 298
+
+# trailing comment
+`
+	rib, err := ReadRIB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.NumRoutes() != 2 || rib.NumPrefixes() != 1 {
+		t.Fatalf("routes=%d prefixes=%d", rib.NumRoutes(), rib.NumPrefixes())
+	}
+	best, _ := rib.Best(netaddr.MustParsePrefix("0.42.0.0/16"))
+	if best.Rel != asgraph.RelCustomer || best.NextHop != 9 {
+		t.Fatalf("best = %v", best)
+	}
+}
+
+func TestReadRIBErrors(t *testing.T) {
+	cases := []string{
+		"0.42.0.0/16|17|0|1|peer",                  // missing field
+		"bogus|17|0|1|peer|17",                     // bad prefix
+		"0.42.0.0/16|x|0|1|peer|17",                // bad next hop
+		"0.42.0.0/16|17|y|1|peer|17",               // bad local pref
+		"0.42.0.0/16|17|0|z|peer|17",               // bad med
+		"0.42.0.0/16|17|0|1|frenemy|17",            // bad relationship
+		"0.42.0.0/16|17|0|1|peer|17 two",           // bad path AS
+		"0.42.0.0/16|17|0|1|peer|",                 // empty path
+		"0.42.0.0/16|17|0|1|peer|17 204|extra|x|y", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ReadRIB(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadRIB(%q) should fail", c)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package cdn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+// Event is one content mobility event: at the given hour, the address set
+// of the site changed by removing and adding the listed addresses.
+type Event struct {
+	Hour    int
+	Removed []netaddr.Addr
+	Added   []netaddr.Addr
+}
+
+// Timeline is the hourly Addrs(d, t) history of one site, stored as an
+// initial set plus deltas (the full per-hour materialization of a 12K-name,
+// multi-week sweep would not fit in memory, and the update-cost analysis
+// only ever needs the before/after pair around each event).
+type Timeline struct {
+	Site    Site
+	Hours   int
+	Initial []netaddr.Addr
+	Events  []Event
+}
+
+// EventCount returns the number of mobility events over the whole timeline.
+func (tl *Timeline) EventCount() int { return len(tl.Events) }
+
+// EventsPerDay buckets the events into 24-hour days.
+func (tl *Timeline) EventsPerDay() []int {
+	days := (tl.Hours + 23) / 24
+	out := make([]int, days)
+	for _, e := range tl.Events {
+		out[e.Hour/24]++
+	}
+	return out
+}
+
+// SetAt reconstructs the address set in effect at the given hour (after any
+// event in that hour), sorted ascending.
+func (tl *Timeline) SetAt(hour int) []netaddr.Addr {
+	set := map[netaddr.Addr]bool{}
+	for _, a := range tl.Initial {
+		set[a] = true
+	}
+	for _, e := range tl.Events {
+		if e.Hour > hour {
+			break
+		}
+		for _, a := range e.Removed {
+			delete(set, a)
+		}
+		for _, a := range e.Added {
+			set[a] = true
+		}
+	}
+	out := make([]netaddr.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Walk replays the timeline, calling fn with the before/after sets of every
+// event in order. Sets are sorted; fn must not retain them across calls.
+func (tl *Timeline) Walk(fn func(e Event, before, after []netaddr.Addr)) {
+	cur := map[netaddr.Addr]bool{}
+	for _, a := range tl.Initial {
+		cur[a] = true
+	}
+	materialize := func() []netaddr.Addr {
+		out := make([]netaddr.Addr, 0, len(cur))
+		for a := range cur {
+			out = append(out, a)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	before := materialize()
+	for _, e := range tl.Events {
+		for _, a := range e.Removed {
+			delete(cur, a)
+		}
+		for _, a := range e.Added {
+			cur[a] = true
+		}
+		after := materialize()
+		fn(e, before, after)
+		before = after
+	}
+}
+
+// siteState is the mutable hosting state behind one site's timeline.
+type siteState struct {
+	originActive []netaddr.Addr // currently published origin addresses
+	originAS     []int          // the AS each active origin address lives in
+	originSpare  []netaddr.Addr
+	edgeActive   map[int]netaddr.Addr // edge AS -> published VIP
+	edgeGen      map[int]int
+	lbRate       float64
+	edgeRate     float64
+	renumber     float64
+	rehost       float64
+}
+
+// Timelines simulates the deployment for the given number of hours and
+// returns one timeline per site. The simulation is deterministic in rng.
+func (d *Deployment) Timelines(hours int, rng *rand.Rand) []Timeline {
+	out := make([]Timeline, 0, len(d.Sites))
+	for _, site := range d.Sites {
+		out = append(out, d.simulateSite(site, hours, rng))
+	}
+	return out
+}
+
+func (d *Deployment) simulateSite(site Site, hours int, rng *rand.Rand) Timeline {
+	cfg := d.cfg
+	st := &siteState{
+		edgeActive: map[int]netaddr.Addr{},
+		edgeGen:    map[int]int{},
+	}
+
+	// Origin pool: OriginPool candidate addresses in the origin AS, a
+	// random few of them published at a time (DNS round robin).
+	pool := make([]netaddr.Addr, 0, cfg.OriginPool)
+	for i := 0; i < cfg.OriginPool; i++ {
+		pool = append(pool, d.edgeAddr(site.Name, site.OriginAS, 1000+i))
+	}
+	nActive := cfg.OriginActiveMin
+	if cfg.OriginActiveMax > cfg.OriginActiveMin {
+		nActive += rng.Intn(cfg.OriginActiveMax - cfg.OriginActiveMin + 1)
+	}
+	if site.Class == Unpopular {
+		nActive = 1 + rng.Intn(2)
+	}
+	if nActive > len(pool) {
+		nActive = len(pool)
+	}
+	st.originActive = append(st.originActive, pool[:nActive]...)
+	for range st.originActive {
+		st.originAS = append(st.originAS, site.OriginAS)
+	}
+	st.originSpare = append(st.originSpare, pool[nActive:]...)
+	if site.ReplicaAS >= 0 {
+		st.originActive = append(st.originActive, d.edgeAddr(site.Name, site.ReplicaAS, 0))
+		st.originAS = append(st.originAS, site.ReplicaAS)
+	}
+
+	// CDN edge set.
+	if site.CDN && len(d.EdgePool) > 0 {
+		k := cfg.ActiveEdgesMin
+		if cfg.ActiveEdgesMax > cfg.ActiveEdgesMin {
+			k += rng.Intn(cfg.ActiveEdgesMax - cfg.ActiveEdgesMin + 1)
+		}
+		if k > len(d.EdgePool) {
+			k = len(d.EdgePool)
+		}
+		for _, idx := range rng.Perm(len(d.EdgePool))[:k] {
+			as := d.EdgePool[idx]
+			st.edgeActive[as] = d.edgeAddr(site.Name, as, 0)
+		}
+	}
+
+	// Per-site churn rates.
+	if site.Class == Popular {
+		st.lbRate = clamp01(cfg.LBRotMedian * math.Exp(cfg.LBRotSigma*rng.NormFloat64()))
+		st.edgeRate = clamp01(cfg.EdgeChurnMedian * math.Exp(cfg.EdgeChurnSigma*rng.NormFloat64()))
+	} else {
+		st.renumber = cfg.UnpopRenumber
+		st.rehost = cfg.UnpopRehost
+	}
+
+	tl := Timeline{Site: site, Hours: hours, Initial: st.snapshot()}
+	for h := 1; h < hours; h++ {
+		var removed, added []netaddr.Addr
+		if site.Class == Popular {
+			// Origin load-balancer rotation: swap one active origin
+			// address for a spare.
+			if rng.Float64() < st.lbRate && len(st.originSpare) > 0 && len(st.originActive) > 0 {
+				ai := rng.Intn(len(st.originActive))
+				si := rng.Intn(len(st.originSpare))
+				removed = append(removed, st.originActive[ai])
+				added = append(added, st.originSpare[si])
+				st.originActive[ai], st.originSpare[si] = st.originSpare[si], st.originActive[ai]
+			}
+			// CDN edge churn: retire one edge cluster, light up another.
+			if site.CDN && rng.Float64() < st.edgeRate && len(st.edgeActive) > 0 {
+				actives := sortedKeys(st.edgeActive)
+				victim := actives[rng.Intn(len(actives))]
+				replacement := d.EdgePool[rng.Intn(len(d.EdgePool))]
+				if _, dup := st.edgeActive[replacement]; !dup && replacement != victim {
+					removed = append(removed, st.edgeActive[victim])
+					delete(st.edgeActive, victim)
+					st.edgeGen[replacement]++
+					a := d.edgeAddr(site.Name, replacement, st.edgeGen[replacement])
+					st.edgeActive[replacement] = a
+					added = append(added, a)
+				}
+			}
+		} else {
+			// Long-tail churn: the rare renumber within the address's own
+			// AS (same forwarding port everywhere), and the far rarer move
+			// to a different hosting AS — the only unpopular event that can
+			// ever induce a router update.
+			if rng.Float64() < st.renumber && len(st.originActive) > 0 {
+				i := rng.Intn(len(st.originActive))
+				old := st.originActive[i]
+				nw := d.edgeAddr(site.Name, st.originAS[i], 2000+h)
+				if nw != old {
+					removed = append(removed, old)
+					added = append(added, nw)
+					st.originActive[i] = nw
+				}
+			}
+			if rng.Float64() < st.rehost && len(st.originActive) > 0 && len(d.EdgePool) > 0 {
+				i := rng.Intn(len(st.originActive))
+				old := st.originActive[i]
+				newAS := d.EdgePool[rng.Intn(len(d.EdgePool))]
+				nw := d.edgeAddr(site.Name, newAS, h)
+				if nw != old {
+					removed = append(removed, old)
+					added = append(added, nw)
+					st.originActive[i] = nw
+					st.originAS[i] = newAS
+				}
+			}
+		}
+		if len(removed) > 0 || len(added) > 0 {
+			tl.Events = append(tl.Events, Event{Hour: h, Removed: removed, Added: added})
+		}
+	}
+	return tl
+}
+
+func (st *siteState) snapshot() []netaddr.Addr {
+	out := make([]netaddr.Addr, 0, len(st.originActive)+len(st.edgeActive))
+	out = append(out, st.originActive...)
+	for _, a := range st.edgeActive {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedKeys(m map[int]netaddr.Addr) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}
+
+// CompleteTable builds the complete name-forwarding input of §3.3.2 for the
+// given timelines at a given hour: each site name mapped to its address
+// set. The caller (internal/core) turns address sets into ports per router.
+func CompleteTable(tls []Timeline, hour int) map[names.Name][]netaddr.Addr {
+	out := make(map[names.Name][]netaddr.Addr, len(tls))
+	for i := range tls {
+		out[tls[i].Site.Name] = tls[i].SetAt(hour)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"locind/internal/bgp"
+	"locind/internal/core"
+	"locind/internal/netaddr"
+)
+
+// The §3.1 displacement test on the Figure 2 router.
+func ExampleDisplaced() {
+	fib := &bgp.FIB{}
+	fib.Insert(netaddr.MustParsePrefix("22.33.44.0/24"), bgp.Route{NextHop: 5, ASPath: []int{5, 9}})
+	fib.Insert(netaddr.MustParsePrefix("22.33.0.0/16"), bgp.Route{NextHop: 3, ASPath: []int{3, 9}})
+
+	fmt.Println(core.Displaced(fib,
+		netaddr.MustParseAddr("22.33.44.55"), netaddr.MustParseAddr("22.33.88.55")))
+	fmt.Println(core.Displaced(fib,
+		netaddr.MustParseAddr("22.33.44.55"), netaddr.MustParseAddr("22.33.44.99")))
+	// Output:
+	// true
+	// false
+}
+
+// The §3.3.1 update-cost definitions: losing a far replica updates
+// controlled flooding but not best-port.
+func ExampleContentUpdated() {
+	fib := &bgp.FIB{}
+	fib.Insert(netaddr.MustParsePrefix("10.0.0.0/16"), bgp.Route{NextHop: 1, ASPath: []int{1, 9}})
+	fib.Insert(netaddr.MustParsePrefix("20.0.0.0/16"), bgp.Route{NextHop: 2, ASPath: []int{2, 8, 9}})
+
+	near := netaddr.MustParseAddr("10.0.0.1")
+	far := netaddr.MustParseAddr("20.0.0.1")
+	before := []netaddr.Addr{near, far}
+	after := []netaddr.Addr{near}
+
+	fmt.Println(core.ContentUpdated(fib, before, after, core.ControlledFlooding))
+	fmt.Println(core.ContentUpdated(fib, before, after, core.BestPort))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,277 @@
+// Package dns implements the name-resolution machinery the paper's §7.1
+// measurement rides on: authoritative zones with NS delegation, CNAME alias
+// chains (the mechanism by which graphics.nytimes.com becomes
+// static.nytimes.com.edgesuite.net becomes a1158.g1.akamai.net), A records
+// with TTLs, and a recursive resolver with a TTL-honoring cache. CDN
+// delegates answer A queries in a locality-aware way, which is exactly why
+// the paper needs 74 vantage points to see a domain's full address set.
+//
+// Time is logical (an integer tick supplied by the caller), keeping every
+// resolution deterministic and testable.
+package dns
+
+import (
+	"fmt"
+	"sort"
+
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+// RRType is the record type of a resource record.
+type RRType uint8
+
+// Record types used by the evaluation.
+const (
+	TypeA RRType = iota
+	TypeCNAME
+	TypeNS
+)
+
+// String names the record type.
+func (t RRType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeNS:
+		return "NS"
+	}
+	return fmt.Sprintf("RRType(%d)", int(t))
+}
+
+// Record is one resource record.
+type Record struct {
+	Name names.Name
+	Type RRType
+	TTL  int // logical ticks
+	// Addr is set for A records; Target for CNAME and NS.
+	Addr   netaddr.Addr
+	Target names.Name
+}
+
+// AnswerFunc lets a zone answer A queries dynamically — the hook CDN
+// delegates use for locality-aware responses. vantage identifies the
+// querying resolver's location; now is the logical time.
+type AnswerFunc func(name names.Name, vantage int, now int) []netaddr.Addr
+
+// Zone is one authoritative server: static records plus an optional
+// dynamic answer hook.
+type Zone struct {
+	Origin  names.Name
+	records map[names.Name][]Record
+	dynamic AnswerFunc
+	// DynTTL is the TTL attached to dynamic answers (CDNs use short TTLs;
+	// that is what makes hourly re-resolution see fresh sets).
+	DynTTL int
+}
+
+// NewZone creates an authoritative zone rooted at origin.
+func NewZone(origin names.Name) *Zone {
+	return &Zone{Origin: origin, records: map[names.Name][]Record{}, DynTTL: 60}
+}
+
+// Add installs a static record; the record's name must be inside the zone.
+func (z *Zone) Add(r Record) error {
+	if r.Name != z.Origin && !r.Name.IsStrictSubdomainOf(z.Origin) {
+		return fmt.Errorf("dns: record %q outside zone %q", r.Name, z.Origin)
+	}
+	if r.TTL <= 0 {
+		return fmt.Errorf("dns: record %q needs positive TTL", r.Name)
+	}
+	z.records[r.Name] = append(z.records[r.Name], r)
+	return nil
+}
+
+// SetDynamic installs the locality-aware answer hook.
+func (z *Zone) SetDynamic(fn AnswerFunc) { z.dynamic = fn }
+
+// Query answers a single-type query authoritatively.
+func (z *Zone) Query(name names.Name, t RRType, vantage, now int) []Record {
+	var out []Record
+	for _, r := range z.records[name] {
+		if r.Type == t {
+			out = append(out, r)
+		}
+	}
+	// CNAMEs answer any query for the aliased name.
+	if len(out) == 0 && t != TypeCNAME {
+		for _, r := range z.records[name] {
+			if r.Type == TypeCNAME {
+				out = append(out, r)
+			}
+		}
+	}
+	if len(out) == 0 && t == TypeA && z.dynamic != nil {
+		for _, a := range z.dynamic(name, vantage, now) {
+			out = append(out, Record{Name: name, Type: TypeA, TTL: z.DynTTL, Addr: a})
+		}
+	}
+	// Delegation: the most specific NS cut between origin and name.
+	if len(out) == 0 {
+		if ns := z.delegationFor(name); len(ns) > 0 {
+			return ns
+		}
+	}
+	return out
+}
+
+// delegationFor walks from name up to the zone origin looking for the most
+// specific NS cut.
+func (z *Zone) delegationFor(name names.Name) []Record {
+	for probe := name; ; {
+		var ns []Record
+		for _, r := range z.records[probe] {
+			if r.Type == TypeNS {
+				ns = append(ns, r)
+			}
+		}
+		if len(ns) > 0 {
+			return ns
+		}
+		if probe == z.Origin {
+			return nil
+		}
+		parent, ok := probe.Parent()
+		if !ok {
+			return nil
+		}
+		probe = parent
+	}
+}
+
+// Authority is the registry mapping zones to their servers — the substitute
+// for the root/TLD walk, which the evaluation does not need to model.
+type Authority struct {
+	zones map[names.Name]*Zone
+}
+
+// NewAuthority creates an empty registry.
+func NewAuthority() *Authority { return &Authority{zones: map[names.Name]*Zone{}} }
+
+// AddZone registers a zone.
+func (a *Authority) AddZone(z *Zone) { a.zones[z.Origin] = z }
+
+// ZoneFor returns the most specific zone whose origin is name or an
+// ancestor of name.
+func (a *Authority) ZoneFor(name names.Name) (*Zone, bool) {
+	probe := name
+	for {
+		if z, ok := a.zones[probe]; ok {
+			return z, true
+		}
+		parent, ok := probe.Parent()
+		if !ok {
+			return nil, false
+		}
+		probe = parent
+	}
+}
+
+// Resolver is a caching recursive resolver pinned to one vantage location.
+type Resolver struct {
+	auth    *Authority
+	Vantage int
+
+	cache map[cacheKey]cacheEntry
+	// Queries counts upstream (non-cached) queries issued, the unit of the
+	// paper's "lookup latency at connection setup" cost.
+	Queries int
+	// MaxChase bounds CNAME chains, as real resolvers do.
+	MaxChase int
+}
+
+type cacheKey struct {
+	name names.Name
+	t    RRType
+}
+
+type cacheEntry struct {
+	records []Record
+	expires int
+}
+
+// NewResolver builds a resolver at the given vantage.
+func NewResolver(auth *Authority, vantage int) *Resolver {
+	return &Resolver{auth: auth, Vantage: vantage, cache: map[cacheKey]cacheEntry{}, MaxChase: 8}
+}
+
+// ResolveA resolves name to its A-record addresses at logical time now,
+// chasing CNAME chains and honoring TTLs. The returned addresses are
+// sorted.
+func (r *Resolver) ResolveA(name names.Name, now int) ([]netaddr.Addr, error) {
+	cur := name
+	for depth := 0; depth <= r.MaxChase; depth++ {
+		recs, err := r.query(cur, TypeA, now)
+		if err != nil {
+			return nil, err
+		}
+		var addrs []netaddr.Addr
+		var cname names.Name
+		for _, rec := range recs {
+			switch rec.Type {
+			case TypeA:
+				addrs = append(addrs, rec.Addr)
+			case TypeCNAME:
+				cname = rec.Target
+			}
+		}
+		if len(addrs) > 0 {
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			return addrs, nil
+		}
+		if cname == "" {
+			return nil, fmt.Errorf("dns: %q has no A records", cur)
+		}
+		cur = cname
+	}
+	return nil, fmt.Errorf("dns: CNAME chain from %q exceeds %d links", name, r.MaxChase)
+}
+
+func (r *Resolver) query(name names.Name, t RRType, now int) ([]Record, error) {
+	key := cacheKey{name: name, t: t}
+	if e, ok := r.cache[key]; ok && e.expires > now {
+		return e.records, nil
+	}
+	z, ok := r.auth.ZoneFor(name)
+	if !ok {
+		return nil, fmt.Errorf("dns: no authority for %q", name)
+	}
+	r.Queries++
+	recs := z.Query(name, t, r.Vantage, now)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("dns: NXDOMAIN %q", name)
+	}
+	// Delegation referral: recurse into the child zone.
+	if recs[0].Type == TypeNS && t != TypeNS {
+		child, ok := r.auth.ZoneFor(recs[0].Target)
+		if !ok {
+			return nil, fmt.Errorf("dns: dangling delegation to %q", recs[0].Target)
+		}
+		r.Queries++
+		recs = child.Query(name, t, r.Vantage, now)
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("dns: NXDOMAIN %q at delegate", name)
+		}
+	}
+	minTTL := recs[0].TTL
+	for _, rec := range recs[1:] {
+		if rec.TTL < minTTL {
+			minTTL = rec.TTL
+		}
+	}
+	r.cache[key] = cacheEntry{records: recs, expires: now + minTTL}
+	return recs, nil
+}
+
+// CacheLen reports the number of live cache entries at time now.
+func (r *Resolver) CacheLen(now int) int {
+	n := 0
+	for _, e := range r.cache {
+		if e.expires > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package dns
+
+import (
+	"strings"
+	"testing"
+
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+func a(s string) netaddr.Addr { return netaddr.MustParseAddr(s) }
+
+// paperWorld builds the exact §7.1 motivating setup:
+//
+//	graphics.nytimes.com  CNAME  static.nytimes.com.edgesuite.net
+//	static.nytimes.com.edgesuite.net  CNAME  a1158.g1.akamai.net
+//	a1158.g1.akamai.net  ->  dynamic, locality-aware A records
+func paperWorld(t *testing.T) *Authority {
+	t.Helper()
+	auth := NewAuthority()
+
+	ny := NewZone("nytimes.com")
+	mustAdd(t, ny, Record{Name: "nytimes.com", Type: TypeA, TTL: 3600, Addr: a("170.149.168.130")})
+	mustAdd(t, ny, Record{Name: "graphics.nytimes.com", Type: TypeCNAME, TTL: 3600,
+		Target: "static.nytimes.com.edgesuite.net"})
+	auth.AddZone(ny)
+
+	edge := NewZone("edgesuite.net")
+	mustAdd(t, edge, Record{Name: "static.nytimes.com.edgesuite.net", Type: TypeCNAME, TTL: 600,
+		Target: "a1158.g1.akamai.net"})
+	auth.AddZone(edge)
+
+	ak := NewZone("akamai.net")
+	ak.DynTTL = 20
+	ak.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
+		if name != "a1158.g1.akamai.net" {
+			return nil
+		}
+		// Two edges near the vantage plus one rotating address.
+		base := byte(vantage % 4)
+		rot := byte(now / 20 % 250)
+		return []netaddr.Addr{
+			netaddr.MakeAddr(23, base, 0, 10),
+			netaddr.MakeAddr(23, base, 0, 11),
+			netaddr.MakeAddr(23, 200, 0, rot),
+		}
+	})
+	auth.AddZone(ak)
+	return auth
+}
+
+func mustAdd(t *testing.T, z *Zone, r Record) {
+	t.Helper()
+	if err := z.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneValidation(t *testing.T) {
+	z := NewZone("example.com")
+	if err := z.Add(Record{Name: "other.org", Type: TypeA, TTL: 60, Addr: a("1.2.3.4")}); err == nil {
+		t.Error("out-of-zone record should fail")
+	}
+	if err := z.Add(Record{Name: "w.example.com", Type: TypeA, TTL: 0, Addr: a("1.2.3.4")}); err == nil {
+		t.Error("zero TTL should fail")
+	}
+	if err := z.Add(Record{Name: "example.com", Type: TypeA, TTL: 60, Addr: a("1.2.3.4")}); err != nil {
+		t.Errorf("apex record should be legal: %v", err)
+	}
+}
+
+func TestCNAMEChainResolution(t *testing.T) {
+	auth := paperWorld(t)
+	r := NewResolver(auth, 1)
+	addrs, err := r.ResolveA("graphics.nytimes.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	// Locality: vantage 1 sees 23.1.0.x edges.
+	if addrs[0] != netaddr.MakeAddr(23, 1, 0, 10) {
+		t.Fatalf("nearest edge = %v", addrs[0])
+	}
+	// A different vantage sees a different subset — the reason the paper
+	// needs distributed vantage points.
+	r2 := NewResolver(auth, 3)
+	addrs2, err := r2.ResolveA("graphics.nytimes.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs2[0] == addrs[0] {
+		t.Fatal("different vantages should see different edges")
+	}
+	// The apex resolves to the origin server directly.
+	apex, err := r.ResolveA("nytimes.com", 0)
+	if err != nil || len(apex) != 1 || apex[0] != a("170.149.168.130") {
+		t.Fatalf("apex = %v, %v", apex, err)
+	}
+}
+
+func TestTTLCacheBehaviour(t *testing.T) {
+	auth := paperWorld(t)
+	r := NewResolver(auth, 0)
+	if _, err := r.ResolveA("graphics.nytimes.com", 0); err != nil {
+		t.Fatal(err)
+	}
+	qAfterFirst := r.Queries
+	if qAfterFirst == 0 {
+		t.Fatal("first resolution must hit upstream")
+	}
+	// Within every TTL: fully cached.
+	if _, err := r.ResolveA("graphics.nytimes.com", 5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != qAfterFirst {
+		t.Fatalf("cached resolution issued %d extra queries", r.Queries-qAfterFirst)
+	}
+	// After the dynamic TTL (20) the A set re-resolves and the rotating
+	// address changes; the long-TTL CNAMEs stay cached.
+	addrs1, _ := r.ResolveA("graphics.nytimes.com", 5)
+	addrs2, err := r.ResolveA("graphics.nytimes.com", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != qAfterFirst+1 {
+		t.Fatalf("expected exactly one refresh query, got %d", r.Queries-qAfterFirst)
+	}
+	changed := false
+	for i := range addrs1 {
+		if addrs1[i] != addrs2[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("rotating record should have changed after TTL expiry")
+	}
+	if r.CacheLen(25) == 0 {
+		t.Fatal("cache should retain live entries")
+	}
+}
+
+func TestDelegation(t *testing.T) {
+	auth := NewAuthority()
+	parent := NewZone("example.com")
+	mustAdd(t, parent, Record{Name: "cdn.example.com", Type: TypeNS, TTL: 3600, Target: "cdnzone.example.com"})
+	auth.AddZone(parent)
+	child := NewZone("cdn.example.com")
+	mustAdd(t, child, Record{Name: "img.cdn.example.com", Type: TypeA, TTL: 60, Addr: a("9.9.9.9")})
+	auth.AddZone(child)
+	// ZoneFor prefers the most specific zone, so wire the delegation
+	// through the parent by querying a name the parent owns...
+	// The resolver hits the child zone directly via ZoneFor; the referral
+	// path triggers when only the parent is registered for the name.
+	r := NewResolver(auth, 0)
+	addrs, err := r.ResolveA("img.cdn.example.com", 0)
+	if err != nil || len(addrs) != 1 || addrs[0] != a("9.9.9.9") {
+		t.Fatalf("delegated resolution = %v, %v", addrs, err)
+	}
+}
+
+func TestDelegationReferralPath(t *testing.T) {
+	// Register ONLY the parent in the authority; its NS cut refers to a
+	// child zone registered under a different origin that ZoneFor cannot
+	// reach directly from the query name.
+	auth := NewAuthority()
+	parent := NewZone("shop.example")
+	mustAdd(t, parent, Record{Name: "img.shop.example", Type: TypeNS, TTL: 3600, Target: "ns.cdnhost.example"})
+	auth.AddZone(parent)
+	child := NewZone("ns.cdnhost.example")
+	child.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
+		return []netaddr.Addr{a("8.8.4.4")}
+	})
+	auth.AddZone(child)
+
+	r := NewResolver(auth, 0)
+	addrs, err := r.ResolveA("x.img.shop.example", 0)
+	if err != nil || len(addrs) != 1 || addrs[0] != a("8.8.4.4") {
+		t.Fatalf("referral resolution = %v, %v", addrs, err)
+	}
+}
+
+func TestResolverErrors(t *testing.T) {
+	auth := paperWorld(t)
+	r := NewResolver(auth, 0)
+	if _, err := r.ResolveA("missing.nytimes.com", 0); err == nil {
+		t.Error("NXDOMAIN should error")
+	}
+	if _, err := r.ResolveA("nowhere.invalid", 0); err == nil {
+		t.Error("no authority should error")
+	}
+	// CNAME loop protection.
+	loop := NewZone("loop.test")
+	mustAdd(t, loop, Record{Name: "a.loop.test", Type: TypeCNAME, TTL: 60, Target: "b.loop.test"})
+	mustAdd(t, loop, Record{Name: "b.loop.test", Type: TypeCNAME, TTL: 60, Target: "a.loop.test"})
+	auth.AddZone(loop)
+	if _, err := r.ResolveA("a.loop.test", 0); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Errorf("CNAME loop should be bounded: %v", err)
+	}
+}
+
+func TestRRTypeString(t *testing.T) {
+	if TypeA.String() != "A" || TypeCNAME.String() != "CNAME" || TypeNS.String() != "NS" {
+		t.Fatal("type names wrong")
+	}
+	if RRType(9).String() == "" {
+		t.Fatal("unknown type should render")
+	}
+}

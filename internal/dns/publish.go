@@ -1,0 +1,112 @@
+package dns
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"locind/internal/cdn"
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+// TicksPerHour converts the content timelines' hour granularity into
+// resolver ticks.
+const TicksPerHour = 3600
+
+// PublishDeployment turns content timelines into a DNS world: one
+// authoritative zone per apex domain, a CNAME from each CDN-delegated name
+// into the cdn.example operator zone (mirroring the edgesuite.net-style
+// aliasing of §7.1), and dynamic A answers that serve the timeline's
+// current address set filtered to a locality-biased subset per vantage.
+// Resolving a name at tick t therefore observes Addrs(d, t/TicksPerHour)
+// partially — exactly the view one PlanetLab node had.
+func PublishDeployment(tls []cdn.Timeline) (*Authority, error) {
+	auth := NewAuthority()
+	operator := NewZone("g.cdnop.example")
+	operator.DynTTL = TicksPerHour / 2
+
+	zones := map[names.Name]*Zone{}
+	timelineFor := map[names.Name]*cdn.Timeline{}
+	aliasFor := map[names.Name]*cdn.Timeline{}
+
+	for i := range tls {
+		tl := &tls[i]
+		apex := tl.Site.Parent
+		if apex == "" {
+			apex = tl.Site.Name
+		}
+		z := zones[apex]
+		if z == nil {
+			z = NewZone(apex)
+			z.DynTTL = TicksPerHour / 2
+			zones[apex] = z
+			auth.AddZone(z)
+		}
+		if tl.Site.CDN {
+			alias := cdnAlias(tl.Site.Name)
+			if err := z.Add(Record{
+				Name: tl.Site.Name, Type: TypeCNAME, TTL: 6 * TicksPerHour, Target: alias,
+			}); err != nil {
+				return nil, fmt.Errorf("dns: publishing %q: %w", tl.Site.Name, err)
+			}
+			aliasFor[alias] = tl
+		} else {
+			timelineFor[tl.Site.Name] = tl
+		}
+	}
+
+	for apex, z := range zones {
+		z.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
+			tl := timelineFor[name]
+			if tl == nil {
+				return nil
+			}
+			return localitySubset(tl.SetAt(now/TicksPerHour), name, vantage)
+		})
+		_ = apex
+	}
+	operator.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
+		tl := aliasFor[name]
+		if tl == nil {
+			return nil
+		}
+		return localitySubset(tl.SetAt(now/TicksPerHour), name, vantage)
+	})
+	auth.AddZone(operator)
+	return auth, nil
+}
+
+// cdnAlias derives the operator-zone alias for a delegated name, mimicking
+// the aNNNN.g.akamai.net convention.
+func cdnAlias(name names.Name) names.Name {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return names.Name(fmt.Sprintf("a%04d.g.cdnop.example", h.Sum32()%10000))
+}
+
+// localitySubset deterministically filters a full address set to the part
+// one vantage sees (the same 1-in-4 spread the vantage package uses), never
+// returning an empty answer for a non-empty set.
+func localitySubset(full []netaddr.Addr, name names.Name, vantage int) []netaddr.Addr {
+	if len(full) == 0 {
+		return nil
+	}
+	const spread = 4
+	var out []netaddr.Addr
+	for _, a := range full {
+		h := fnv.New32a()
+		var buf [4]byte
+		buf[0] = byte(a)
+		buf[1] = byte(a >> 8)
+		buf[2] = byte(a >> 16)
+		buf[3] = byte(a >> 24)
+		h.Write(buf[:])
+		if int(h.Sum32())%spread == vantage%spread {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, full[vantage%len(full)])
+	}
+	return out
+}

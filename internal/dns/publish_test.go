@@ -1,0 +1,141 @@
+package dns
+
+import (
+	"math/rand"
+	"testing"
+
+	"locind/internal/asgraph"
+	"locind/internal/bgp"
+	"locind/internal/cdn"
+	"locind/internal/netaddr"
+)
+
+func contentWorld(t *testing.T) []cdn.Timeline {
+	t.Helper()
+	acfg := asgraph.DefaultSynthConfig()
+	acfg.Tier2 = 60
+	acfg.Stubs = 500
+	g, err := asgraph.Synthesize(acfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := bgp.NewPrefixTable(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cdn.DefaultConfig()
+	ccfg.PopularDomains = 20
+	ccfg.UnpopularDomains = 10
+	dep, err := cdn.Generate(g, pt, ccfg, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep.Timelines(48, rand.New(rand.NewSource(15)))
+}
+
+// TestPublishDeployment runs the full §7.1 mechanics through actual DNS:
+// CNAME-aliased CDN names resolve through the operator zone, every vantage
+// sees a locality-biased subset, and the union over vantages reconstructs
+// the timeline's ground-truth set at each hour.
+func TestPublishDeployment(t *testing.T) {
+	tls := contentWorld(t)
+	auth, err := PublishDeployment(tls)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cdnSite, plainSite *cdn.Timeline
+	for i := range tls {
+		if tls[i].Site.CDN && cdnSite == nil {
+			cdnSite = &tls[i]
+		}
+		if !tls[i].Site.CDN && plainSite == nil {
+			plainSite = &tls[i]
+		}
+	}
+	if cdnSite == nil || plainSite == nil {
+		t.Skip("seed produced no CDN or no plain site")
+	}
+
+	for _, probe := range []*cdn.Timeline{cdnSite, plainSite} {
+		for _, hour := range []int{0, 20, 47} {
+			now := hour * TicksPerHour
+			truth := probe.SetAt(hour)
+			union := map[netaddr.Addr]bool{}
+			for vantage := 0; vantage < 8; vantage++ {
+				r := NewResolver(auth, vantage)
+				addrs, err := r.ResolveA(probe.Site.Name, now)
+				if err != nil {
+					t.Fatalf("resolving %q (cdn=%v) at hour %d: %v", probe.Site.Name, probe.Site.CDN, hour, err)
+				}
+				if len(addrs) == 0 {
+					t.Fatalf("empty answer for %q", probe.Site.Name)
+				}
+				// Every answered address must belong to the ground truth.
+				inTruth := map[netaddr.Addr]bool{}
+				for _, a := range truth {
+					inTruth[a] = true
+				}
+				for _, a := range addrs {
+					if !inTruth[a] {
+						t.Fatalf("vantage %d resolved %v not in truth %v", vantage, a, truth)
+					}
+					union[a] = true
+				}
+			}
+			if len(union) != len(truth) {
+				t.Fatalf("%q hour %d: union over 8 vantages covers %d of %d addrs",
+					probe.Site.Name, hour, len(union), len(truth))
+			}
+		}
+	}
+}
+
+// TestPublishedMobilityVisible verifies that hourly re-resolution observes
+// the site's mobility: across the whole window, some hour's answer differs
+// from the previous hour's at some vantage iff the timeline has events.
+func TestPublishedMobilityVisible(t *testing.T) {
+	tls := contentWorld(t)
+	auth, err := PublishDeployment(tls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mover *cdn.Timeline
+	for i := range tls {
+		if tls[i].EventCount() > 3 {
+			mover = &tls[i]
+			break
+		}
+	}
+	if mover == nil {
+		t.Skip("no sufficiently mobile site at this seed")
+	}
+	r := NewResolver(auth, 2)
+	changes := 0
+	var prev []netaddr.Addr
+	for hour := 0; hour < mover.Hours; hour++ {
+		addrs, err := r.ResolveA(mover.Site.Name, hour*TicksPerHour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !equalAddrs(prev, addrs) {
+			changes++
+		}
+		prev = addrs
+	}
+	if changes == 0 {
+		t.Fatalf("site with %d events showed no DNS-visible changes", mover.EventCount())
+	}
+}
+
+func equalAddrs(a, b []netaddr.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"locind/internal/analytic"
+	"locind/internal/intradomain"
+	"locind/internal/topology"
+)
+
+// IntradomainResult exercises the §3.1 single-domain setting: the aggregate
+// renumbering update cost on several topologies (cross-checked against the
+// §5 enumeration), and the forwarding-table growth when hosts keep their
+// addresses and routers absorb mobility with /32 host routes instead — the
+// FIB-size cost of flat identifiers, §6.2.2's other axis.
+type IntradomainResult struct {
+	Rows []IntradomainRow
+
+	// Host-route growth trajectory on the grid: total /32 entries across
+	// all routers after each quarter of the mobility workload.
+	HostRouteGrowth []int
+	GridRouters     int
+	MobileHosts     int
+}
+
+// IntradomainRow is one topology's renumbering cost.
+type IntradomainRow struct {
+	Topology   string
+	Routers    int
+	AggCost    float64
+	AnalyticNB float64
+}
+
+// RunIntradomain measures both mobility-absorption modes.
+func RunIntradomain(seed int64) (IntradomainResult, error) {
+	var res IntradomainResult
+	for _, tc := range []struct {
+		name string
+		g    *topology.Graph
+	}{
+		{"chain-17", topology.Chain(17)},
+		{"grid-6x6", topology.Grid(6, 6)},
+		{"tree-31", topology.BinaryTree(31)},
+	} {
+		net, err := intradomain.New(tc.g)
+		if err != nil {
+			return res, fmt.Errorf("expt: intradomain %s: %w", tc.name, err)
+		}
+		res.Rows = append(res.Rows, IntradomainRow{
+			Topology:   tc.name,
+			Routers:    tc.g.N(),
+			AggCost:    net.AggregateRenumberCost(),
+			AnalyticNB: analytic.ExactNameBased(tc.g).UpdateCost,
+		})
+	}
+
+	// Host-route growth under flat identifiers on a 6x6 grid.
+	g := topology.Grid(6, 6)
+	net, err := intradomain.New(g)
+	if err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const hosts = 80
+	const steps = 400
+	// Each host keeps the address of its birth subnet forever; mobility
+	// only changes the attachment router.
+	birth := make([]int, hosts)
+	for h := 0; h < hosts; h++ {
+		birth[h] = rng.Intn(g.N())
+	}
+	res.GridRouters = g.N()
+	res.MobileHosts = hosts
+	for step := 1; step <= steps; step++ {
+		h := rng.Intn(hosts)
+		dst := rng.Intn(g.N())
+		net.MoveWithHostRoutes(intradomain.AddrAt(birth[h], uint64(100+h)), dst)
+		if step%(steps/4) == 0 {
+			res.HostRouteGrowth = append(res.HostRouteGrowth, net.TotalHostRoutes())
+		}
+	}
+	return res, nil
+}
+
+// Render prints the §3.1 readout.
+func (r IntradomainResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§3.1 intradomain mobility (single shortest-path domain)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %18s %18s\n", "topology", "routers", "renumber agg cost", "§5 enumeration")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %8d %18.4f %18.4f\n", row.Topology, row.Routers, row.AggCost, row.AnalyticNB)
+	}
+	fmt.Fprintf(&b, "  flat identifiers instead (%d hosts on a %d-router grid): total /32 host\n",
+		r.MobileHosts, r.GridRouters)
+	fmt.Fprintf(&b, "  routes after each workload quarter: %v\n", r.HostRouteGrowth)
+	b.WriteString("  (renumbering pays update cost; keeping addresses pays forwarding state)\n")
+	return b.String()
+}

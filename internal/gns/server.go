@@ -1,0 +1,199 @@
+package gns
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"locind/internal/netaddr"
+)
+
+// Request is a UDP resolution-protocol message.
+type Request struct {
+	Op    string   `json:"op"` // "lookup" or "update"
+	Name  string   `json:"name"`
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// Response is the UDP reply.
+type Response struct {
+	OK      bool     `json:"ok"`
+	Err     string   `json:"err,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Addrs   []string `json:"addrs,omitempty"`
+	Version uint64   `json:"version,omitempty"`
+}
+
+// maxDatagram bounds request/response sizes.
+const maxDatagram = 8192
+
+// Server exposes a Service over UDP, one datagram per request/response —
+// the same interaction pattern as DNS.
+type Server struct {
+	svc  *Service
+	conn *net.UDPConn
+	done chan struct{}
+}
+
+// Serve starts a UDP server for svc on addr ("127.0.0.1:0" for tests). It
+// returns once the socket is bound; handling proceeds in the background
+// until Close.
+func Serve(svc *Service, addr string) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{svc: svc, conn: conn, done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		resp := s.handle(buf[:n])
+		out, err := json.Marshal(resp)
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(out, peer) //nolint:errcheck // lost replies look like drops; the client retries
+	}
+}
+
+func (s *Server) handle(raw []byte) Response {
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return Response{Err: "bad request: " + err.Error()}
+	}
+	switch req.Op {
+	case "lookup":
+		rec, err := s.svc.Lookup(req.Name)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		out := Response{OK: true, Name: rec.Name, Version: rec.Version}
+		for _, a := range rec.Addrs {
+			out.Addrs = append(out.Addrs, a.String())
+		}
+		return out
+	case "update":
+		addrs := make([]netaddr.Addr, 0, len(req.Addrs))
+		for _, sa := range req.Addrs {
+			a, err := netaddr.ParseAddr(sa)
+			if err != nil {
+				return Response{Err: "bad address: " + err.Error()}
+			}
+			addrs = append(addrs, a)
+		}
+		ver, err := s.svc.Update(req.Name, addrs)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true, Name: req.Name, Version: ver}
+	default:
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is the resolver side of the UDP protocol, with timeout and retry
+// (UDP datagrams may be dropped).
+type Client struct {
+	ServerAddr string
+	Timeout    time.Duration
+	Retries    int
+}
+
+// NewClient builds a client with sane defaults.
+func NewClient(serverAddr string) *Client {
+	return &Client{ServerAddr: serverAddr, Timeout: 500 * time.Millisecond, Retries: 3}
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		conn, err := net.Dial("udp", c.ServerAddr)
+		if err != nil {
+			return Response{}, err
+		}
+		conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+		if _, err := conn.Write(payload); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		buf := make([]byte, maxDatagram)
+		n, err := conn.Read(buf)
+		conn.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(buf[:n], &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return Response{}, fmt.Errorf("gns: no response after %d attempts: %w", c.Retries+1, lastErr)
+}
+
+// Lookup resolves a name over UDP.
+func (c *Client) Lookup(name string) (Record, error) {
+	resp, err := c.roundTrip(Request{Op: "lookup", Name: name})
+	if err != nil {
+		return Record{}, err
+	}
+	if !resp.OK {
+		return Record{}, fmt.Errorf("gns: lookup %q: %s", name, resp.Err)
+	}
+	rec := Record{Name: resp.Name, Version: resp.Version}
+	for _, sa := range resp.Addrs {
+		a, err := netaddr.ParseAddr(sa)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Addrs = append(rec.Addrs, a)
+	}
+	return rec, nil
+}
+
+// Update installs a binding over UDP.
+func (c *Client) Update(name string, addrs []netaddr.Addr) (uint64, error) {
+	req := Request{Op: "update", Name: name}
+	for _, a := range addrs {
+		req.Addrs = append(req.Addrs, a.String())
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("gns: update %q: %s", name, resp.Err)
+	}
+	return resp.Version, nil
+}

@@ -1,0 +1,70 @@
+package mobility
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	dt := genTrace(t, 15, 3, 8)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Users) != len(dt.Users) || back.Days != dt.Days {
+		t.Fatalf("shape: %d users %d days vs %d users %d days",
+			len(back.Users), back.Days, len(dt.Users), dt.Days)
+	}
+	for i := range dt.Users {
+		a, b := dt.Users[i], back.Users[i]
+		if a.ID != b.ID || len(a.Visits) != len(b.Visits) {
+			t.Fatalf("user %d shape diverged", i)
+		}
+		for j := range a.Visits {
+			va, vb := a.Visits[j], b.Visits[j]
+			if va.Loc != vb.Loc {
+				t.Fatalf("user %d visit %d loc %+v vs %+v", i, j, va.Loc, vb.Loc)
+			}
+			if diff := va.Start - vb.Start; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("user %d visit %d start %v vs %v", i, j, va.Start, vb.Start)
+			}
+		}
+	}
+	// Derived statistics survive the round trip (within CSV precision).
+	a1 := dt.PerUserDailyAverages()
+	a2 := back.PerUserDailyAverages()
+	for i := range a1 {
+		if a1[i].AvgDistinctIPs != a2[i].AvgDistinctIPs {
+			t.Fatalf("user %d distinct IPs %v vs %v", i, a1[i].AvgDistinctIPs, a2[i].AvgDistinctIPs)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,0.0,1.2.3.4,1.2.3.0/24,5,wifi",             // missing field
+		"x,0.0,1.2.3.4,1.2.3.0/24,5,wifi,1.0",         // bad id
+		"1,z,1.2.3.4,1.2.3.0/24,5,wifi,1.0",           // bad time
+		"1,0.0,bogus,1.2.3.0/24,5,wifi,1.0",           // bad addr
+		"1,0.0,1.2.3.4,nope,5,wifi,1.0",               // bad prefix
+		"1,0.0,1.2.3.4,1.2.3.0/24,q,wifi,1.0",         // bad asn
+		"1,0.0,1.2.3.4,1.2.3.0/24,5,carrier-pigeon,1", // bad net type
+		"1,0.0,1.2.3.4,1.2.3.0/24,5,wifi,0",           // bad duration
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+	// Header-only and empty inputs are fine.
+	if dt, err := ReadCSV(strings.NewReader("device_id,time_hours,ip_addr,prefix,asn,net_type,dur_hours\n")); err != nil || len(dt.Users) != 0 {
+		t.Error("header-only input should parse to empty trace")
+	}
+	if dt, err := ReadCSV(strings.NewReader("")); err != nil || len(dt.Users) != 0 {
+		t.Error("empty input should parse to empty trace")
+	}
+}

@@ -1,0 +1,34 @@
+package names_test
+
+import (
+	"fmt"
+
+	"locind/internal/names"
+)
+
+// The Figure 3 example: travel.yahoo.com shares yahoo.com's port and is
+// subsumed under longest-prefix matching; sports.yahoo.com is not.
+func ExampleBuildLPMTable() {
+	complete := map[names.Name]int{
+		"yahoo.com":        2,
+		"travel.yahoo.com": 2,
+		"sports.yahoo.com": 5,
+		"cnn.com":          2,
+		"mit.edu":          4,
+	}
+	lpm := names.BuildLPMTable(complete)
+	fmt.Println(len(complete), "->", len(lpm))
+	fmt.Printf("aggregateability %.2f\n", names.Aggregateability(complete))
+	// Output:
+	// 5 -> 4
+	// aggregateability 1.25
+}
+
+func ExampleTrie_LookupLongestSuffix() {
+	var t names.Trie[int]
+	t.Insert("yahoo.com", 2)
+	t.Insert("sports.yahoo.com", 5)
+	match, port, _ := t.LookupLongestSuffix("scores.sports.yahoo.com")
+	fmt.Println(match, port)
+	// Output: sports.yahoo.com 5
+}

@@ -1,0 +1,302 @@
+// Package names models the hierarchical content name space of §3.3.2:
+// dot-separated domain names, the strict-subdomain partial order, a trie
+// supporting longest-suffix matching (the name-space analogue of IP
+// longest-prefix matching), complete vs LPM forwarding tables, and the
+// paper's aggregateability metric.
+package names
+
+import (
+	"sort"
+	"strings"
+)
+
+// Name is a domain-style hierarchical name such as "travel.yahoo.com". The
+// hierarchy runs right to left: "yahoo.com" is the parent of
+// "travel.yahoo.com". The empty Name is the root of the hierarchy.
+type Name string
+
+// Labels splits n into its dot-separated labels, most specific first.
+// The empty name has no labels.
+func (n Name) Labels() []string {
+	if n == "" {
+		return nil
+	}
+	return strings.Split(string(n), ".")
+}
+
+// Depth returns the number of labels in n.
+func (n Name) Depth() int {
+	if n == "" {
+		return 0
+	}
+	return strings.Count(string(n), ".") + 1
+}
+
+// Parent strips the leftmost (most specific) label: the parent of
+// "travel.yahoo.com" is "yahoo.com". The second return is false when n is a
+// single label or empty (its parent is the root).
+func (n Name) Parent() (Name, bool) {
+	i := strings.IndexByte(string(n), '.')
+	if i < 0 {
+		return "", false
+	}
+	return n[i+1:], true
+}
+
+// IsStrictSubdomainOf reports the paper's d1 ≺ d2 relation:
+// "travel.yahoo.com" ≺ "yahoo.com". A name is not a strict subdomain of
+// itself. Every non-empty name is a strict subdomain of the root.
+func (n Name) IsStrictSubdomainOf(m Name) bool {
+	if n == m {
+		return false
+	}
+	if m == "" {
+		return n != ""
+	}
+	return strings.HasSuffix(string(n), "."+string(m))
+}
+
+// Join prepends label to n: Join("travel", "yahoo.com") = "travel.yahoo.com".
+func Join(label string, n Name) Name {
+	if n == "" {
+		return Name(label)
+	}
+	return Name(label) + "." + n
+}
+
+// Trie is a name trie keyed by label suffixes, the content-routing analogue
+// of the netaddr prefix trie: a lookup finds the most specific registered
+// ancestor (or exact match) of a name. The zero value is ready to use.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	children map[string]*trieNode[V]
+	val      V
+	set      bool
+}
+
+func (t *Trie[V]) ensureRoot() *trieNode[V] {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	return t.root
+}
+
+// Len returns the number of names stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores v under name n, replacing any existing value; it reports
+// whether the name was newly inserted. Inserting the empty name sets a
+// default ("root") entry that matches everything.
+func (t *Trie[V]) Insert(n Name, v V) bool {
+	node := t.ensureRoot()
+	labels := n.Labels()
+	for i := len(labels) - 1; i >= 0; i-- {
+		if node.children == nil {
+			node.children = map[string]*trieNode[V]{}
+		}
+		child := node.children[labels[i]]
+		if child == nil {
+			child = &trieNode[V]{}
+			node.children[labels[i]] = child
+		}
+		node = child
+	}
+	fresh := !node.set
+	node.val = v
+	node.set = true
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+// Get returns the value stored for exactly n.
+func (t *Trie[V]) Get(n Name) (V, bool) {
+	var zero V
+	if t.root == nil {
+		return zero, false
+	}
+	node := t.root
+	labels := n.Labels()
+	for i := len(labels) - 1; i >= 0; i-- {
+		node = node.children[labels[i]]
+		if node == nil {
+			return zero, false
+		}
+	}
+	if !node.set {
+		return zero, false
+	}
+	return node.val, true
+}
+
+// Remove deletes the exact name n, reporting whether it was present.
+func (t *Trie[V]) Remove(n Name) bool {
+	if t.root == nil {
+		return false
+	}
+	node := t.root
+	labels := n.Labels()
+	for i := len(labels) - 1; i >= 0; i-- {
+		node = node.children[labels[i]]
+		if node == nil {
+			return false
+		}
+	}
+	if !node.set {
+		return false
+	}
+	var zero V
+	node.set = false
+	node.val = zero
+	t.size--
+	return true
+}
+
+// LookupLongestSuffix finds the most specific stored name that is n itself
+// or an ancestor of n — the name-space longest-prefix match.
+func (t *Trie[V]) LookupLongestSuffix(n Name) (Name, V, bool) {
+	var bestV V
+	var bestDepth = -1
+	if t.root == nil {
+		return "", bestV, false
+	}
+	node := t.root
+	labels := n.Labels()
+	if node.set {
+		bestV, bestDepth = node.val, 0
+	}
+	for i := len(labels) - 1; i >= 0; i-- {
+		node = node.children[labels[i]]
+		if node == nil {
+			break
+		}
+		if node.set {
+			bestV = node.val
+			bestDepth = len(labels) - i
+		}
+	}
+	if bestDepth < 0 {
+		return "", bestV, false
+	}
+	match := Name(strings.Join(labels[len(labels)-bestDepth:], "."))
+	return match, bestV, true
+}
+
+// LookupStrictAncestor is LookupLongestSuffix restricted to strict
+// ancestors of n (n itself excluded). It answers "what would a lookup for a
+// name under n resolve to if n's own entry were removed".
+func (t *Trie[V]) LookupStrictAncestor(n Name) (Name, V, bool) {
+	var bestV V
+	bestDepth := -1
+	if t.root == nil {
+		return "", bestV, false
+	}
+	node := t.root
+	labels := n.Labels()
+	if node.set && len(labels) > 0 {
+		bestV, bestDepth = node.val, 0
+	}
+	for i := len(labels) - 1; i >= 1; i-- { // stop before the full name
+		node = node.children[labels[i]]
+		if node == nil {
+			break
+		}
+		if node.set {
+			bestV = node.val
+			bestDepth = len(labels) - i
+		}
+	}
+	if bestDepth < 0 {
+		return "", bestV, false
+	}
+	match := Name(strings.Join(labels[len(labels)-bestDepth:], "."))
+	return match, bestV, true
+}
+
+// Walk visits all stored names in depth-first lexicographic label order.
+// Returning false stops the walk.
+func (t *Trie[V]) Walk(fn func(Name, V) bool) {
+	if t.root == nil {
+		return
+	}
+	t.walk(t.root, "", fn)
+}
+
+func (t *Trie[V]) walk(node *trieNode[V], suffix Name, fn func(Name, V) bool) bool {
+	if node.set {
+		if !fn(suffix, node.val) {
+			return false
+		}
+	}
+	labels := make([]string, 0, len(node.children))
+	for l := range node.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		if !t.walk(node.children[l], Join(l, suffix), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildLPMTable computes the LPM forwarding table of §3.3.2: the subset of
+// the complete table that excludes every subsumed entry. An entry [d1, port]
+// is subsumed when the most specific strict ancestor of d1 that survives
+// into the LPM table carries the same port, so longest-suffix matching
+// resolves d1 correctly without its own entry.
+//
+// Entries are considered in ancestor-before-descendant order, which makes
+// the computation a single pass: each name is kept iff its current
+// longest-suffix resolution in the partial table differs from its port.
+func BuildLPMTable[V comparable](complete map[Name]V) map[Name]V {
+	ns := make([]Name, 0, len(complete))
+	for n := range complete {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		di, dj := ns[i].Depth(), ns[j].Depth()
+		if di != dj {
+			return di < dj
+		}
+		return ns[i] < ns[j]
+	})
+	var trie Trie[V]
+	out := make(map[Name]V)
+	for _, n := range ns {
+		port := complete[n]
+		if _, v, ok := trie.LookupLongestSuffix(n); ok && v == port {
+			continue // subsumed
+		}
+		trie.Insert(n, port)
+		out[n] = port
+	}
+	return out
+}
+
+// Aggregateability is the ratio |complete| / |LPM| (§3.3.2). An empty table
+// has aggregateability 1 by convention.
+func Aggregateability[V comparable](complete map[Name]V) float64 {
+	if len(complete) == 0 {
+		return 1
+	}
+	lpm := BuildLPMTable(complete)
+	return float64(len(complete)) / float64(len(lpm))
+}
+
+// ResolveWithLPM answers what the LPM table forwards name n to; used by
+// tests to verify that BuildLPMTable is semantics-preserving.
+func ResolveWithLPM[V comparable](lpm map[Name]V, n Name) (V, bool) {
+	var trie Trie[V]
+	for name, v := range lpm {
+		trie.Insert(name, v)
+	}
+	_, v, ok := trie.LookupLongestSuffix(n)
+	return v, ok
+}

@@ -1,0 +1,29 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"locind/internal/netaddr"
+)
+
+// The Figure 2 scenario: a router whose /24 and /16 entries point to
+// different ports, and a device moving between them.
+func ExampleTrie_Lookup() {
+	var fib netaddr.Trie[int]
+	fib.Insert(netaddr.MustParsePrefix("22.33.44.0/24"), 5)
+	fib.Insert(netaddr.MustParsePrefix("22.33.0.0/16"), 3)
+
+	before, _ := fib.Lookup(netaddr.MustParseAddr("22.33.44.55"))
+	after, _ := fib.Lookup(netaddr.MustParseAddr("22.33.88.55"))
+	fmt.Println(before, after)
+	// Output: 5 3
+}
+
+func ExamplePrefix_Contains() {
+	p := netaddr.MustParsePrefix("10.1.0.0/16")
+	fmt.Println(p.Contains(netaddr.MustParseAddr("10.1.200.7")))
+	fmt.Println(p.Contains(netaddr.MustParseAddr("10.2.0.1")))
+	// Output:
+	// true
+	// false
+}

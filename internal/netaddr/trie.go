@@ -1,0 +1,214 @@
+package netaddr
+
+// Trie is a binary radix trie mapping IPv4 prefixes to values of type V. It
+// supports exact insertion/removal, longest-prefix-match lookup, and ordered
+// walks. The zero value is an empty trie ready for use.
+//
+// The implementation is a straightforward path-per-bit binary trie: lookups
+// cost at most 32 node visits, which is plenty for FIBs with a few hundred
+// thousand entries and keeps the code auditable. Nodes are allocated from a
+// flat slice to keep the structure compact and GC-friendly.
+type Trie[V any] struct {
+	nodes []trieNode[V]
+	size  int
+}
+
+type trieNode[V any] struct {
+	child [2]int32 // index into nodes, 0 = none (node 0 is the root)
+	val   V
+	set   bool
+}
+
+func (t *Trie[V]) root() int32 {
+	if len(t.nodes) == 0 {
+		t.nodes = append(t.nodes, trieNode[V]{})
+	}
+	return 0
+}
+
+// Len returns the number of prefixes stored in the trie.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert associates v with prefix p, replacing any existing value. It reports
+// whether the prefix was newly inserted (false means replaced).
+func (t *Trie[V]) Insert(p Prefix, v V) bool {
+	n := t.root()
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		b := a.Bit(i)
+		if t.nodes[n].child[b] == 0 {
+			t.nodes = append(t.nodes, trieNode[V]{})
+			t.nodes[n].child[b] = int32(len(t.nodes) - 1)
+		}
+		n = t.nodes[n].child[b]
+	}
+	fresh := !t.nodes[n].set
+	t.nodes[n].val = v
+	t.nodes[n].set = true
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	var zero V
+	if len(t.nodes) == 0 {
+		return zero, false
+	}
+	n := int32(0)
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = t.nodes[n].child[a.Bit(i)]
+		if n == 0 {
+			return zero, false
+		}
+	}
+	if !t.nodes[n].set {
+		return zero, false
+	}
+	return t.nodes[n].val, true
+}
+
+// Remove deletes the exact prefix p, reporting whether it was present. Nodes
+// are not physically reclaimed (the trie is append-only internally), which is
+// fine for our workloads where removals are rare.
+func (t *Trie[V]) Remove(p Prefix) bool {
+	if len(t.nodes) == 0 {
+		return false
+	}
+	n := int32(0)
+	a := p.Addr()
+	for i := 0; i < p.Bits(); i++ {
+		n = t.nodes[n].child[a.Bit(i)]
+		if n == 0 {
+			return false
+		}
+	}
+	if !t.nodes[n].set {
+		return false
+	}
+	var zero V
+	t.nodes[n].set = false
+	t.nodes[n].val = zero
+	t.size--
+	return true
+}
+
+// Lookup performs longest-prefix matching for address a, returning the value
+// of the most specific covering prefix.
+func (t *Trie[V]) Lookup(a Addr) (V, bool) {
+	var best V
+	found := false
+	if len(t.nodes) == 0 {
+		return best, false
+	}
+	n := int32(0)
+	if t.nodes[0].set {
+		best, found = t.nodes[0].val, true
+	}
+	for i := 0; i < 32; i++ {
+		n = t.nodes[n].child[a.Bit(i)]
+		if n == 0 {
+			break
+		}
+		if t.nodes[n].set {
+			best, found = t.nodes[n].val, true
+		}
+	}
+	return best, found
+}
+
+// LookupPrefix is like Lookup but also returns the matching prefix itself.
+func (t *Trie[V]) LookupPrefix(a Addr) (Prefix, V, bool) {
+	var bestV V
+	var bestP Prefix
+	found := false
+	if len(t.nodes) == 0 {
+		return bestP, bestV, false
+	}
+	n := int32(0)
+	if t.nodes[0].set {
+		bestP, bestV, found = MakePrefix(0, 0), t.nodes[0].val, true
+	}
+	for i := 0; i < 32; i++ {
+		n = t.nodes[n].child[a.Bit(i)]
+		if n == 0 {
+			break
+		}
+		if t.nodes[n].set {
+			bestP, bestV, found = MakePrefix(a, i+1), t.nodes[n].val, true
+		}
+	}
+	return bestP, bestV, found
+}
+
+// Parent returns the value of the longest strict ancestor prefix of p that is
+// present in the trie, i.e. what an address in p would match if p itself were
+// removed.
+func (t *Trie[V]) Parent(p Prefix) (Prefix, V, bool) {
+	var bestV V
+	var bestP Prefix
+	found := false
+	if len(t.nodes) == 0 {
+		return bestP, bestV, false
+	}
+	n := int32(0)
+	if t.nodes[0].set && p.Bits() > 0 {
+		bestP, bestV, found = MakePrefix(0, 0), t.nodes[0].val, true
+	}
+	a := p.Addr()
+	for i := 0; i < p.Bits()-1; i++ {
+		n = t.nodes[n].child[a.Bit(i)]
+		if n == 0 {
+			break
+		}
+		if t.nodes[n].set {
+			bestP, bestV, found = MakePrefix(a, i+1), t.nodes[n].val, true
+		}
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every stored prefix in lexicographic (address, then length)
+// trie order. Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.walk(0, 0, 0, fn)
+}
+
+func (t *Trie[V]) walk(n int32, addr Addr, depth int, fn func(Prefix, V) bool) bool {
+	nd := &t.nodes[n]
+	if nd.set {
+		if !fn(MakePrefix(addr, depth), nd.val) {
+			return false
+		}
+	}
+	if depth == 32 {
+		return true
+	}
+	if c := nd.child[0]; c != 0 {
+		if !t.walk(c, addr, depth+1, fn) {
+			return false
+		}
+	}
+	if c := nd.child[1]; c != 0 {
+		if !t.walk(c, addr|Addr(1)<<(31-depth), depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefixes returns all stored prefixes in walk order.
+func (t *Trie[V]) Prefixes() []Prefix {
+	out := make([]Prefix, 0, t.size)
+	t.Walk(func(p Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+
+	"locind/internal/gns"
+	"locind/internal/netaddr"
+)
+
+// GNSResolver adapts a gns.Service into the Resolution architecture's
+// Resolver, so the packet simulator's name-resolution path runs through the
+// real replicated service (quorums, versions, failures and all). Router
+// locators are encoded as addresses in a reserved /8.
+type GNSResolver struct {
+	Svc *gns.Service
+}
+
+// locator encodes a router ID as an address the service can store.
+func locator(router int) netaddr.Addr {
+	return netaddr.MakeAddr(127, byte(router>>16), byte(router>>8), byte(router))
+}
+
+func routerOf(a netaddr.Addr) int {
+	_, b, c, d := a.Octets()
+	return int(b)<<16 | int(c)<<8 | int(d)
+}
+
+// ResolveUpdate implements Resolver via a quorum update.
+func (g GNSResolver) ResolveUpdate(name string, router int) error {
+	_, err := g.Svc.Update(name, []netaddr.Addr{locator(router)})
+	return err
+}
+
+// ResolveLookup implements Resolver via a quorum lookup.
+func (g GNSResolver) ResolveLookup(name string) (int, error) {
+	rec, err := g.Svc.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(rec.Addrs) == 0 {
+		return 0, fmt.Errorf("netsim: empty binding for %q (version %s)",
+			name, strconv.FormatUint(rec.Version, 10))
+	}
+	return routerOf(rec.Addrs[0]), nil
+}

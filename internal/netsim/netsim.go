@@ -1,0 +1,361 @@
+// Package netsim is a packet-level simulator of the three puristic
+// architectures of §2, at the granularity of Figure 1(b)-(d): endpoints
+// attach to routers in a shortest-path-routed network and packets are
+// forwarded hop by hop under
+//
+//   - indirection routing (a home agent detours every packet),
+//   - name resolution (an extra-network service is queried at connection
+//     setup, then packets travel the direct path), and
+//   - name-based routing (every router keeps a next-hop entry per name).
+//
+// The simulator measures what the analytic model of §5 predicts — additive
+// path stretch and per-move update cost — and, beyond it, the handoff
+// behaviour of name-based routing while an update wavefront is still
+// propagating (the territory the paper assigns to the "strategy layer").
+package netsim
+
+import (
+	"fmt"
+
+	"locind/internal/topology"
+)
+
+// Network wraps a router topology with the precomputed state every
+// architecture shares: all-pairs hop counts and per-location forwarding
+// ports.
+type Network struct {
+	g    *topology.Graph
+	hops [][]int
+	// ports[loc][r] is router r's next hop toward an endpoint at loc
+	// (lowest-ID shortest-path tie-break), or r itself when r == loc.
+	ports [][]int
+}
+
+// NewNetwork precomputes forwarding state for g, which must be connected.
+func NewNetwork(g *topology.Graph) (*Network, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("netsim: empty topology")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("netsim: topology must be connected")
+	}
+	n := &Network{g: g, hops: g.AllPairsHops(), ports: make([][]int, g.N())}
+	for loc := 0; loc < g.N(); loc++ {
+		_, parent := g.BFS(loc)
+		row := make([]int, g.N())
+		for r := 0; r < g.N(); r++ {
+			row[r] = parent[r] // == loc's own parent is loc itself
+		}
+		n.ports[loc] = row
+	}
+	return n, nil
+}
+
+// N returns the router count.
+func (n *Network) N() int { return n.g.N() }
+
+// Dist returns the hop distance between routers a and b.
+func (n *Network) Dist(a, b int) int { return n.hops[a][b] }
+
+// Delivery reports the fate of one packet.
+type Delivery struct {
+	Delivered bool
+	// Hops is the data-path length actually traversed.
+	Hops int
+	// Shortest is the direct shortest-path length source→destination, so
+	// Stretch() = Hops - Shortest.
+	Shortest int
+	// SetupCost counts extra control-plane messages spent before the first
+	// data packet could leave (resolution lookups).
+	SetupCost int
+}
+
+// Stretch returns the additive path stretch of the delivery.
+func (d Delivery) Stretch() int { return d.Hops - d.Shortest }
+
+// Arch is a location-independent communication architecture under test.
+type Arch interface {
+	// Name identifies the architecture.
+	Name() string
+	// Attach registers endpoint ep at a router, returning the number of
+	// entities (routers or service replicas) that had to change state.
+	Attach(ep string, router int) int
+	// Move relocates ep, returning the update cost of the mobility event
+	// (the §3 metric: how many entities must change state).
+	Move(ep string, to int) int
+	// Send forwards one packet from a source router toward ep.
+	Send(src int, ep string) Delivery
+	// Where returns ep's current attachment (for tests).
+	Where(ep string) (int, bool)
+}
+
+// HomeAgent is indirection routing: the first attachment point becomes the
+// endpoint's home agent; every packet detours through it (no route
+// optimization, as in base Mobile IP).
+type HomeAgent struct {
+	net  *Network
+	home map[string]int
+	cur  map[string]int
+}
+
+// NewHomeAgent builds the indirection architecture over net.
+func NewHomeAgent(net *Network) *HomeAgent {
+	return &HomeAgent{net: net, home: map[string]int{}, cur: map[string]int{}}
+}
+
+// Name implements Arch.
+func (h *HomeAgent) Name() string { return "indirection" }
+
+// Attach implements Arch; the first attachment fixes the home agent.
+func (h *HomeAgent) Attach(ep string, router int) int {
+	if _, ok := h.home[ep]; !ok {
+		h.home[ep] = router
+	}
+	h.cur[ep] = router
+	return 1 // the home agent learns the binding
+}
+
+// Move implements Arch: exactly one entity (the home agent) updates.
+func (h *HomeAgent) Move(ep string, to int) int {
+	if _, ok := h.home[ep]; !ok {
+		return h.Attach(ep, to)
+	}
+	h.cur[ep] = to
+	return 1
+}
+
+// Send implements Arch: triangle routing via the home agent.
+func (h *HomeAgent) Send(src int, ep string) Delivery {
+	home, ok := h.home[ep]
+	if !ok {
+		return Delivery{}
+	}
+	cur := h.cur[ep]
+	return Delivery{
+		Delivered: true,
+		Hops:      h.net.Dist(src, home) + h.net.Dist(home, cur),
+		Shortest:  h.net.Dist(src, cur),
+	}
+}
+
+// Where implements Arch.
+func (h *HomeAgent) Where(ep string) (int, bool) {
+	r, ok := h.cur[ep]
+	return r, ok
+}
+
+// Resolver abstracts the extra-network service the resolution architecture
+// queries (satisfied by a map in tests and by gns.Service via a thin
+// adapter).
+type Resolver interface {
+	ResolveUpdate(name string, router int) error
+	ResolveLookup(name string) (int, error)
+}
+
+// MapResolver is the trivial in-process Resolver.
+type MapResolver map[string]int
+
+// ResolveUpdate implements Resolver.
+func (m MapResolver) ResolveUpdate(name string, router int) error {
+	m[name] = router
+	return nil
+}
+
+// ResolveLookup implements Resolver.
+func (m MapResolver) ResolveLookup(name string) (int, error) {
+	r, ok := m[name]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown name %q", name)
+	}
+	return r, nil
+}
+
+// Resolution is the name-resolution architecture: one update per move at
+// the service, a lookup at connection setup, then direct shortest-path
+// forwarding.
+type Resolution struct {
+	net *Network
+	res Resolver
+}
+
+// NewResolution builds the resolution architecture over net and res.
+func NewResolution(net *Network, res Resolver) *Resolution {
+	return &Resolution{net: net, res: res}
+}
+
+// Name implements Arch.
+func (r *Resolution) Name() string { return "name-resolution" }
+
+// Attach implements Arch.
+func (r *Resolution) Attach(ep string, router int) int {
+	if err := r.res.ResolveUpdate(ep, router); err != nil {
+		return 0
+	}
+	return 1
+}
+
+// Move implements Arch: one update at the resolution service.
+func (r *Resolution) Move(ep string, to int) int { return r.Attach(ep, to) }
+
+// Send implements Arch: lookup, then the direct path; data-path stretch is
+// zero by construction, the lookup shows up as SetupCost.
+func (r *Resolution) Send(src int, ep string) Delivery {
+	cur, err := r.res.ResolveLookup(ep)
+	if err != nil {
+		return Delivery{SetupCost: 1}
+	}
+	d := r.net.Dist(src, cur)
+	return Delivery{Delivered: true, Hops: d, Shortest: d, SetupCost: 1}
+}
+
+// Where implements Arch.
+func (r *Resolution) Where(ep string) (int, bool) {
+	cur, err := r.res.ResolveLookup(ep)
+	return cur, err == nil
+}
+
+// NameRouting is pure name-based routing: every router holds a next-hop
+// entry per name; a move updates exactly the routers whose entry changes
+// (the §5.1.2 quantity), and packets follow the entries hop by hop.
+type NameRouting struct {
+	net *Network
+	// table[ep][r] = the location whose port router r currently uses for
+	// ep. Storing the location (rather than the port) makes the handoff
+	// wavefront model below straightforward.
+	table map[string][]int
+	cur   map[string]int
+	// breadcrumb enables forwarding pointers at departure points (see
+	// Breadcrumb).
+	breadcrumb bool
+}
+
+// NewNameRouting builds the name-based architecture over net.
+func NewNameRouting(net *Network) *NameRouting {
+	return &NameRouting{net: net, table: map[string][]int{}, cur: map[string]int{}}
+}
+
+// Name implements Arch.
+func (nr *NameRouting) Name() string { return "name-based-routing" }
+
+// Attach implements Arch: every router installs an entry.
+func (nr *NameRouting) Attach(ep string, router int) int {
+	row := make([]int, nr.net.N())
+	for r := range row {
+		row[r] = router
+	}
+	nr.table[ep] = row
+	nr.cur[ep] = router
+	return nr.net.N()
+}
+
+// Move implements Arch: routers whose forwarding port for ep changes are
+// updated and counted — the exact displacement semantics of §3.1 lifted to
+// names.
+func (nr *NameRouting) Move(ep string, to int) int {
+	row, ok := nr.table[ep]
+	if !ok {
+		return nr.Attach(ep, to)
+	}
+	from := nr.cur[ep]
+	updated := 0
+	for r := range row {
+		oldPort := nr.port(r, from)
+		newPort := nr.port(r, to)
+		if oldPort != newPort {
+			updated++
+		}
+		row[r] = to
+	}
+	nr.cur[ep] = to
+	return updated
+}
+
+// port is router r's forwarding port toward an endpoint at loc; the
+// endpoint's own router uses the distinguished local port.
+func (nr *NameRouting) port(r, loc int) int {
+	if r == loc {
+		return -1
+	}
+	return nr.net.ports[loc][r]
+}
+
+// Send implements Arch: hop-by-hop forwarding over the name tables.
+func (nr *NameRouting) Send(src int, ep string) Delivery {
+	row, ok := nr.table[ep]
+	if !ok {
+		return Delivery{}
+	}
+	cur := nr.cur[ep]
+	shortest := nr.net.Dist(src, cur)
+	at := src
+	hops := 0
+	ttl := 4 * nr.net.N()
+	for at != row[at] {
+		at = nr.net.ports[row[at]][at]
+		hops++
+		if hops > ttl {
+			return Delivery{Shortest: shortest, Hops: hops}
+		}
+	}
+	// Delivered where the local entry points; with converged tables this
+	// is the endpoint's location.
+	return Delivery{Delivered: at == cur, Hops: hops, Shortest: shortest}
+}
+
+// Where implements Arch.
+func (nr *NameRouting) Where(ep string) (int, bool) {
+	c, ok := nr.cur[ep]
+	return c, ok
+}
+
+// Breadcrumb turns on forwarding pointers at departure points: when an
+// endpoint leaves a router, the old attachment router keeps a pointer to
+// the new location and re-forwards packets that arrive for the departed
+// endpoint — the custodian/indirection-point repair that proposals like
+// Kim et al. add to NDN-style architectures. The zero value (disabled)
+// reproduces pure name-based routing, where such packets are lost.
+func (nr *NameRouting) Breadcrumb(enable bool) { nr.breadcrumb = enable }
+
+// SendDuringHandoff models a packet injected while the update wavefront of
+// a move from oldLoc to newLoc is still propagating: the wavefront floods
+// outward from newLoc one hop per tick (router r switches its entry at time
+// Dist(newLoc, r)), the packet starts at src at time t0 and takes one hop
+// per tick. Packets racing ahead of the wavefront chase the old location;
+// late injections see converged state. The return reports whether the
+// packet reached the endpoint's NEW location, and in how many hops.
+//
+// With breadcrumbs enabled (Breadcrumb(true)), a packet that wins the race
+// to the old location is re-forwarded from there toward the new one instead
+// of being dropped, converting the loss into a detour whose extra hops show
+// up as stretch.
+func (nr *NameRouting) SendDuringHandoff(src int, ep string, oldLoc, newLoc, t0 int) Delivery {
+	shortest := nr.net.Dist(src, newLoc)
+	at := src
+	hops := 0
+	t := t0
+	ttl := 6 * nr.net.N()
+	chasingCrumb := false
+	for {
+		loc := oldLoc
+		if chasingCrumb || t >= nr.net.Dist(newLoc, at) {
+			loc = newLoc
+		}
+		if at == loc {
+			if at == newLoc {
+				return Delivery{Delivered: true, Hops: hops, Shortest: shortest}
+			}
+			// The packet won the race to the departure point.
+			if nr.breadcrumb {
+				chasingCrumb = true // follow the forwarding pointer
+				continue
+			}
+			return Delivery{Hops: hops, Shortest: shortest} // lost
+		}
+		at = nr.net.ports[loc][at]
+		hops++
+		t++
+		if hops > ttl {
+			return Delivery{Hops: hops, Shortest: shortest}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package nomad
+
+import (
+	"fmt"
+	"sync"
+
+	"locind/internal/mobility"
+)
+
+// Agent replays one device's mobility trace through the measurement
+// pipeline: on every connectivity event it asks the server for its
+// public-facing address and buffers a log record locally; records are
+// uploaded in a batch only when the device is "connected to power and WiFi"
+// (§4's battery/data conservation rule), which we approximate as any WiFi
+// dwell of at least MinUploadDwell hours.
+type Agent struct {
+	Client *Client
+	// MinUploadDwell is the minimum WiFi dwell (hours) treated as
+	// "plugged in at home/work" and therefore safe to upload during.
+	MinUploadDwell float64
+	// UploadRetries is how many extra attempts a failed batch upload gets
+	// before the agent gives up for this opportunity and keeps the records
+	// buffered for the next long dwell — store-and-forward, like the app.
+	UploadRetries int
+
+	deviceID string
+	pending  []Entry
+	// UploadFailures counts upload opportunities that exhausted retries.
+	UploadFailures int
+}
+
+// NewAgent creates an agent for the raw device identifier (hashed before it
+// ever leaves the device).
+func NewAgent(client *Client, rawDeviceID string) *Agent {
+	return &Agent{
+		Client:         client,
+		MinUploadDwell: 2.0,
+		UploadRetries:  2,
+		deviceID:       HashDeviceID(rawDeviceID),
+	}
+}
+
+// DeviceID returns the hashed identifier the agent reports.
+func (a *Agent) DeviceID() string { return a.deviceID }
+
+// Pending returns the number of buffered, not-yet-uploaded records.
+func (a *Agent) Pending() int { return len(a.pending) }
+
+// Replay runs the whole trace through the pipeline. It returns the number
+// of records uploaded. Records still pending at the end of the trace remain
+// buffered (exactly like a device that was never plugged in).
+func (a *Agent) Replay(u *mobility.UserTrace) (int, error) {
+	uploaded := 0
+	for _, v := range u.Visits {
+		// Connectivity event: learn the public address, buffer the record.
+		ip, err := a.Client.PublicIP(v.Loc.Addr.String())
+		if err != nil {
+			return uploaded, fmt.Errorf("nomad: device %s ip-echo: %w", a.deviceID, err)
+		}
+		a.pending = append(a.pending, Entry{
+			DeviceID: a.deviceID,
+			Time:     v.Start,
+			IPAddr:   ip,
+			NetType:  v.Loc.Net.String(),
+		})
+		// Long WiFi dwell: treat as powered, flush the buffer. A transient
+		// upload failure is not fatal — the records stay buffered and the
+		// next opportunity retries, exactly like the app's
+		// "previously untransferred log files" behaviour.
+		if v.Loc.Net == mobility.WiFi && v.Dur >= a.MinUploadDwell {
+			var err error
+			for attempt := 0; attempt <= a.UploadRetries; attempt++ {
+				if err = a.Client.Upload(a.pending); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				a.UploadFailures++
+				continue
+			}
+			uploaded += len(a.pending)
+			a.pending = a.pending[:0]
+		}
+	}
+	return uploaded, nil
+}
+
+// RunFleet replays every user in the trace concurrently against the server
+// at baseURL, with at most parallel agents in flight. It returns the total
+// number of uploaded records.
+func RunFleet(baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	sem := make(chan struct{}, parallel)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		total    int
+		firstErr error
+	)
+	for i := range dt.Users {
+		u := &dt.Users[i]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			agent := NewAgent(NewClient(baseURL), fmt.Sprintf("device-%d", u.ID))
+			n, err := agent.Replay(u)
+			mu.Lock()
+			defer mu.Unlock()
+			total += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}()
+	}
+	wg.Wait()
+	return total, firstErr
+}

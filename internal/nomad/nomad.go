@@ -1,0 +1,222 @@
+// Package nomad reimplements the paper's NomadLog measurement pipeline (§4)
+// as a working client/server system: device agents that observe connectivity
+// events, an IP-echo server the device contacts to learn its public-facing
+// address, store-and-forward batching of log records (uploads happen only
+// when the device is "connected to power and WiFi"), and an append-only log
+// store standing in for the paper's postgres database.
+//
+// In production the server would echo the TCP peer address; in simulation
+// every agent connects over loopback, so the agent states its
+// workload-assigned address in a header and the server echoes that. The
+// observable behaviour — one tiny request per connectivity event, batched
+// uploads, the paper's log-record schema — is identical.
+package nomad
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one log record, matching the schema of §4:
+//
+//	device_id | time | ip_addr | net_type | (lat, long)
+type Entry struct {
+	DeviceID string  `json:"device_id"` // hashed device identifier
+	Time     float64 `json:"time"`      // hours from trace start
+	IPAddr   string  `json:"ip_addr"`
+	NetType  string  `json:"net_type"`
+	Lat      float64 `json:"lat,omitempty"`
+	Long     float64 `json:"long,omitempty"`
+}
+
+// HashDeviceID converts a raw device identifier into the hashed form stored
+// in the database, providing the limited privacy the paper describes.
+func HashDeviceID(raw string) string {
+	h := fnv.New64a()
+	h.Write([]byte(raw))
+	return fmt.Sprintf("dev-%016x", h.Sum64())
+}
+
+// LogStore is the postgres substitute: a concurrency-safe, append-only
+// record store.
+type LogStore struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Append adds records to the store.
+func (s *LogStore) Append(es ...Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, es...)
+}
+
+// Len returns the number of stored records.
+func (s *LogStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// ByDevice returns the records of one device in time order.
+func (s *LogStore) ByDevice(deviceID string) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for _, e := range s.entries {
+		if e.DeviceID == deviceID {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Devices returns the distinct device IDs seen, sorted.
+func (s *LogStore) Devices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range s.entries {
+		seen[e.DeviceID] = true
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server is the NomadLog backend: the IP-echo endpoint and the upload
+// endpoint, backed by a LogStore.
+type Server struct {
+	Store *LogStore
+	mux   *http.ServeMux
+}
+
+// simulatedAddrHeader carries the workload-assigned public address during
+// loopback simulation.
+const simulatedAddrHeader = "X-Nomad-Simulated-Addr"
+
+// NewServer constructs the backend.
+func NewServer() *Server {
+	s := &Server{Store: &LogStore{}, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/ip", s.handleIP)
+	s.mux.HandleFunc("/upload", s.handleUpload)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleIP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	addr := r.Header.Get(simulatedAddrHeader)
+	if addr == "" {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		addr = host
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprint(w, addr)
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch []Entry
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&batch); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	for _, e := range batch {
+		if e.DeviceID == "" || e.IPAddr == "" {
+			http.Error(w, "entry missing device_id or ip_addr", http.StatusBadRequest)
+			return
+		}
+		if !strings.HasPrefix(e.DeviceID, "dev-") {
+			http.Error(w, "device_id must be hashed", http.StatusBadRequest)
+			return
+		}
+	}
+	s.Store.Append(batch...)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Client is the device side of the IP-echo and upload protocol.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client against the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// PublicIP asks the server what public address this device appears from.
+// simulatedAddr, when non-empty, is the workload-assigned address the agent
+// is pretending to hold.
+func (c *Client) PublicIP(simulatedAddr string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/ip", nil)
+	if err != nil {
+		return "", err
+	}
+	if simulatedAddr != "" {
+		req.Header.Set(simulatedAddrHeader, simulatedAddr)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("nomad: /ip returned %s", resp.Status)
+	}
+	var b strings.Builder
+	buf := make([]byte, 64)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String(), nil
+}
+
+// Upload posts a batch of entries.
+func (c *Client) Upload(batch []Entry) error {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/upload", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("nomad: /upload returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndEdges(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("empty graph N=%d M=%d", g.N(), g.M())
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge should fail")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("reversed duplicate edge should fail")
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop should fail")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range should fail")
+	}
+	if err := g.AddWeightedEdge(1, 2, 0); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(-1, 0) {
+		t.Fatal("HasEdge false positives")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if g.M() != 4 {
+		t.Fatalf("chain edges = %d", g.M())
+	}
+	if d := g.HopDist(0, 4); d != 4 {
+		t.Fatalf("chain end-to-end = %d", d)
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("chain diameter = %d", g.Diameter())
+	}
+	if !g.Connected() {
+		t.Fatal("chain should be connected")
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(6)
+	if g.M() != 15 {
+		t.Fatalf("clique edges = %d", g.M())
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("clique diameter = %d", g.Diameter())
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(7) // perfect tree of depth 2
+	if g.M() != 6 {
+		t.Fatalf("tree edges = %d", g.M())
+	}
+	// Distance between the two deepest leaves in different subtrees: 4.
+	if d := g.HopDist(3, 6); d != 4 {
+		t.Fatalf("leaf-to-leaf = %d", d)
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("tree diameter = %d", g.Diameter())
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(10) // 11 nodes
+	if g.N() != 11 || g.M() != 10 {
+		t.Fatalf("star N=%d M=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 2 {
+		t.Fatalf("star diameter = %d", g.Diameter())
+	}
+	if g.Degree(0) != 10 {
+		t.Fatalf("center degree = %d", g.Degree(0))
+	}
+}
+
+func TestRingAndGrid(t *testing.T) {
+	r := Ring(6)
+	if r.M() != 6 || r.Diameter() != 3 {
+		t.Fatalf("ring M=%d diam=%d", r.M(), r.Diameter())
+	}
+	if Ring(2).M() != 0 {
+		t.Fatal("degenerate ring should have no edges")
+	}
+	g := Grid(3, 4)
+	if g.M() != 3*3+2*4 {
+		t.Fatalf("grid M=%d", g.M())
+	}
+	if g.Diameter() != 5 {
+		t.Fatalf("grid diameter = %d", g.Diameter())
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1) //nolint:errcheck
+	d, parent := g.BFS(0)
+	if d[1] != 1 || d[2] != -1 || d[3] != -1 {
+		t.Fatalf("BFS dist = %v", d)
+	}
+	if parent[2] != -1 {
+		t.Fatal("unreachable parent should be -1")
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("disconnected diameter should be -1")
+	}
+	if g.HopDist(0, 2) != -1 {
+		t.Fatal("unreachable HopDist should be -1")
+	}
+}
+
+func TestBFSBadSource(t *testing.T) {
+	g := Chain(3)
+	d, _ := g.BFS(-1)
+	for _, x := range d {
+		if x != -1 {
+			t.Fatal("BFS from bad source should mark all unreachable")
+		}
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	g := Chain(5)
+	_, parent := g.BFS(0)
+	p := Path(parent, 0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if Path(parent, 0, 0) == nil {
+		t.Fatal("trivial path should be non-nil")
+	}
+	g2 := New(3)
+	_, par2 := g2.BFS(0)
+	if Path(par2, 0, 2) != nil {
+		t.Fatal("unreachable path should be nil")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := GNP(40, 0.15, rng)
+	for src := 0; src < 5; src++ {
+		bd, _ := g.BFS(src)
+		dd, _ := g.Dijkstra(src)
+		for v := range bd {
+			if bd[v] == -1 {
+				if !math.IsInf(dd[v], 1) {
+					t.Fatalf("node %d: BFS unreachable but Dijkstra %v", v, dd[v])
+				}
+				continue
+			}
+			if float64(bd[v]) != dd[v] {
+				t.Fatalf("node %d: BFS %d vs Dijkstra %v", v, bd[v], dd[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	g := New(4)
+	g.AddWeightedEdge(0, 1, 1)  //nolint:errcheck
+	g.AddWeightedEdge(1, 2, 1)  //nolint:errcheck
+	g.AddWeightedEdge(0, 2, 10) //nolint:errcheck
+	g.AddWeightedEdge(2, 3, 1)  //nolint:errcheck
+	d, parent := g.Dijkstra(0)
+	if d[2] != 2 {
+		t.Fatalf("d[2] = %v, want 2 (via node 1)", d[2])
+	}
+	if d[3] != 3 {
+		t.Fatalf("d[3] = %v", d[3])
+	}
+	p := Path(parent, 0, 3)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v", p)
+		}
+	}
+}
+
+func TestGNPDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := GNP(100, 0.1, rng)
+	maxEdges := 100 * 99 / 2
+	frac := float64(g.M()) / float64(maxEdges)
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("GNP density = %v, want ~0.1", frac)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := PreferentialAttachment(300, 2, rng)
+	if !g.Connected() {
+		t.Fatal("PA graph should be connected")
+	}
+	// Heavy tail: max degree should dwarf the median degree.
+	maxDeg, sumDeg := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / float64(g.N())
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("PA max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+	if PreferentialAttachment(0, 2, rng).N() != 0 {
+		t.Fatal("empty PA should work")
+	}
+	if !PreferentialAttachment(5, 0, rng).Connected() {
+		t.Fatal("m<1 should be clamped to 1 and stay connected")
+	}
+}
+
+func TestAllPairsHopsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := GNP(30, 0.2, rng)
+	ap := g.AllPairsHops()
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if ap[u][v] != ap[v][u] {
+				t.Fatalf("asymmetric hops %d,%d", u, v)
+			}
+		}
+		if ap[u][u] != 0 {
+			t.Fatalf("self distance %d", ap[u][u])
+		}
+	}
+}
+
+// Property: on random graphs, BFS distances satisfy the triangle
+// inequality through any intermediate node, parents always step exactly one
+// hop closer to the source, and Path endpoints/lengths agree with dist.
+func TestBFSInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		g := GNP(30, 0.12, rng)
+		src := rng.Intn(g.N())
+		dist, parent := g.BFS(src)
+		for v := 0; v < g.N(); v++ {
+			if dist[v] < 0 {
+				continue
+			}
+			if v != src {
+				p := parent[v]
+				if p < 0 || dist[p] != dist[v]-1 || !g.HasEdge(p, v) {
+					t.Fatalf("trial %d: bad parent %d for %d", trial, p, v)
+				}
+			}
+			path := Path(parent, src, v)
+			if len(path) != dist[v]+1 || path[0] != src || path[len(path)-1] != v {
+				t.Fatalf("trial %d: bad path %v for dist %d", trial, path, dist[v])
+			}
+			for _, e := range g.Neighbors(v) {
+				if dist[e.To] >= 0 && dist[e.To] > dist[v]+1 {
+					t.Fatalf("trial %d: triangle inequality broken at %d-%d", trial, v, e.To)
+				}
+			}
+		}
+	}
+}

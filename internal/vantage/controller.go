@@ -1,0 +1,183 @@
+package vantage
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+// Controller is the central collection node: it accepts vantage-point
+// connections and merges their hourly observations into per-(name, hour)
+// union address sets, the paper's Addrs(d, t).
+type Controller struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	merged  map[names.Name]map[int]map[netaddr.Addr]bool
+	reports int
+	nodes   map[string]bool
+	errs    []error
+
+	wg sync.WaitGroup
+}
+
+// StartController listens on the given address ("127.0.0.1:0" for an
+// ephemeral test port) and begins accepting vantage connections.
+func StartController(addr string) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		ln:     ln,
+		merged: map[names.Name]map[int]map[netaddr.Addr]bool{},
+		nodes:  map[string]bool{},
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the controller's listen address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (c *Controller) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+func (c *Controller) handle(conn net.Conn) {
+	defer conn.Close()
+	node := ""
+	for {
+		m, err := ReadFrame(conn)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			c.recordErr(err)
+			return
+		}
+		switch m.Type {
+		case TypeHello:
+			node = m.Node
+			c.mu.Lock()
+			c.nodes[node] = true
+			c.mu.Unlock()
+		case TypeReport:
+			c.ingest(m)
+		case TypeBye:
+			// Acknowledge so the node's Close blocks until everything it
+			// sent on this connection has been ingested; without this, a
+			// campaign could tear the controller down while connections
+			// are still queued in the accept backlog.
+			if err := WriteFrame(conn, Message{Type: TypeBye, Node: node}); err != nil {
+				c.recordErr(err)
+			}
+			return
+		default:
+			c.recordErr(errors.New("vantage: unknown frame type " + m.Type))
+			return
+		}
+	}
+}
+
+func (c *Controller) ingest(m Message) {
+	name := names.Name(m.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports++
+	byHour := c.merged[name]
+	if byHour == nil {
+		byHour = map[int]map[netaddr.Addr]bool{}
+		c.merged[name] = byHour
+	}
+	set := byHour[m.Hour]
+	if set == nil {
+		set = map[netaddr.Addr]bool{}
+		byHour[m.Hour] = set
+	}
+	for _, s := range m.Addrs {
+		a, err := netaddr.ParseAddr(s)
+		if err != nil {
+			c.errs = append(c.errs, err)
+			continue
+		}
+		set[a] = true
+	}
+}
+
+func (c *Controller) recordErr(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs = append(c.errs, err)
+}
+
+// Errs returns protocol errors observed so far.
+func (c *Controller) Errs() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.errs...)
+}
+
+// ReportCount returns how many report frames have been ingested.
+func (c *Controller) ReportCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reports
+}
+
+// NodeCount returns how many distinct vantage points have said hello.
+func (c *Controller) NodeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// MergedSet returns the union address set observed for a name at an hour,
+// sorted ascending.
+func (c *Controller) MergedSet(name names.Name, hour int) []netaddr.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.merged[name][hour]
+	out := make([]netaddr.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Names returns all names with at least one observation, sorted.
+func (c *Controller) Names() []names.Name {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]names.Name, 0, len(c.merged))
+	for n := range c.merged {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,74 @@
+package vantage
+
+import (
+	"fmt"
+
+	"locind/internal/cdn"
+	"locind/internal/netaddr"
+)
+
+// MeasuredTimeline reconstructs a cdn.Timeline for one site from the
+// controller's merged observations, exactly as the paper's central
+// controller turns per-vantage resolutions into the Addrs(d, t) history:
+// the hour-h set is the union of all reports for (site, h), and a mobility
+// event is any hour whose union differs from the previous hour's.
+func (c *Controller) MeasuredTimeline(site cdn.Site, hours int) (cdn.Timeline, error) {
+	if hours <= 0 {
+		return cdn.Timeline{}, fmt.Errorf("vantage: need positive hours, have %d", hours)
+	}
+	initial := c.MergedSet(site.Name, 0)
+	if len(initial) == 0 {
+		return cdn.Timeline{}, fmt.Errorf("vantage: no hour-0 observations for %q", site.Name)
+	}
+	tl := cdn.Timeline{Site: site, Hours: hours, Initial: initial}
+	prev := map[netaddr.Addr]bool{}
+	for _, a := range initial {
+		prev[a] = true
+	}
+	for h := 1; h < hours; h++ {
+		cur := c.MergedSet(site.Name, h)
+		var ev cdn.Event
+		seen := map[netaddr.Addr]bool{}
+		for _, a := range cur {
+			seen[a] = true
+			if !prev[a] {
+				ev.Added = append(ev.Added, a)
+			}
+		}
+		for a := range prev {
+			if !seen[a] {
+				ev.Removed = append(ev.Removed, a)
+			}
+		}
+		if len(ev.Added) > 0 || len(ev.Removed) > 0 {
+			ev.Hour = h
+			// Sort removed deterministically (Added comes sorted from
+			// MergedSet; Removed is collected from map iteration).
+			sortAddrs(ev.Removed)
+			tl.Events = append(tl.Events, ev)
+			prev = seen
+		}
+	}
+	return tl, nil
+}
+
+// MeasuredTimelines reconstructs timelines for every given site.
+func (c *Controller) MeasuredTimelines(sites []cdn.Site, hours int) ([]cdn.Timeline, error) {
+	out := make([]cdn.Timeline, 0, len(sites))
+	for _, s := range sites {
+		tl, err := c.MeasuredTimeline(s, hours)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tl)
+	}
+	return out, nil
+}
+
+func sortAddrs(as []netaddr.Addr) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j] < as[j-1]; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package vantage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+
+	"locind/internal/cdn"
+	"locind/internal/names"
+	"locind/internal/netaddr"
+)
+
+// Node is one vantage point: a TCP client streaming hourly resolution
+// observations to the controller.
+type Node struct {
+	Name string
+	conn net.Conn
+}
+
+// Dial connects a vantage point to the controller and introduces itself.
+func Dial(addr, name string) (*Node, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("vantage: dial controller: %w", err)
+	}
+	n := &Node{Name: name, conn: conn}
+	if err := WriteFrame(conn, Message{Type: TypeHello, Node: name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Report sends one (name, hour) observation.
+func (n *Node) Report(hour int, name names.Name, addrs []netaddr.Addr) error {
+	strs := make([]string, len(addrs))
+	for i, a := range addrs {
+		strs[i] = a.String()
+	}
+	return WriteFrame(n.conn, Message{
+		Type:  TypeReport,
+		Node:  n.Name,
+		Hour:  hour,
+		Name:  string(name),
+		Addrs: strs,
+	})
+}
+
+// Close says goodbye, waits for the controller's acknowledgement (which
+// guarantees every frame sent on this connection has been ingested), and
+// closes the connection.
+func (n *Node) Close() error {
+	defer n.conn.Close()
+	if err := WriteFrame(n.conn, Message{Type: TypeBye, Node: n.Name}); err != nil {
+		return err
+	}
+	ack, err := ReadFrame(n.conn)
+	if err != nil {
+		return fmt.Errorf("vantage: waiting for bye ack: %w", err)
+	}
+	if ack.Type != TypeBye {
+		return fmt.Errorf("vantage: unexpected ack frame %q", ack.Type)
+	}
+	return nil
+}
+
+// ViewFunc models what one vantage point's resolver answer looks like: the
+// subset of the full address set visible from that node at that hour.
+type ViewFunc func(nodeIdx int, name names.Name, hour int, full []netaddr.Addr) []netaddr.Addr
+
+// PartialView is the default locality proxy: each address is visible from
+// roughly 1/spread of the nodes (CDNs answer with nearby edges only), with
+// the deterministic guarantee that every address is visible from at least
+// one node and every node sees at least one address, so the union over
+// enough nodes reconstructs the full set — the property the paper's 74-node
+// deployment relies on.
+func PartialView(spread int) ViewFunc {
+	if spread < 1 {
+		spread = 1
+	}
+	return func(nodeIdx int, name names.Name, hour int, full []netaddr.Addr) []netaddr.Addr {
+		if len(full) == 0 {
+			return nil
+		}
+		var out []netaddr.Addr
+		for _, a := range full {
+			h := fnv.New32a()
+			var buf [4]byte
+			buf[0] = byte(a)
+			buf[1] = byte(a >> 8)
+			buf[2] = byte(a >> 16)
+			buf[3] = byte(a >> 24)
+			h.Write(buf[:])
+			if int(h.Sum32())%spread == nodeIdx%spread {
+				out = append(out, a)
+			}
+		}
+		if len(out) == 0 {
+			out = append(out, full[nodeIdx%len(full)])
+		}
+		return out
+	}
+}
+
+// Sweep runs a full measurement campaign: numNodes vantage points connect
+// to the controller and, for every hour of every timeline, resolve the name
+// through their partial view and report the result. Nodes run concurrently,
+// mirroring the real deployment; the hour loop inside each node is the
+// paper's once-per-hour resolution schedule ("precise time synchronization
+// is not necessary" — neither needed here).
+func Sweep(controllerAddr string, numNodes int, tls []cdn.Timeline, view ViewFunc) error {
+	if numNodes < 1 {
+		return fmt.Errorf("vantage: need at least one node")
+	}
+	if view == nil {
+		view = PartialView(4)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, numNodes)
+	for i := 0; i < numNodes; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			node, err := Dial(controllerAddr, fmt.Sprintf("pl%03d", idx))
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			defer node.Close()
+			for t := range tls {
+				tl := &tls[t]
+				errs[idx] = replayHourly(tl, func(hour int, set []netaddr.Addr) error {
+					return node.Report(hour, tl.Site.Name, view(idx, tl.Site.Name, hour, set))
+				})
+				if errs[idx] != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayHourly materializes the timeline's address set hour by hour without
+// quadratic SetAt calls.
+func replayHourly(tl *cdn.Timeline, fn func(hour int, set []netaddr.Addr) error) error {
+	cur := map[netaddr.Addr]bool{}
+	for _, a := range tl.Initial {
+		cur[a] = true
+	}
+	ei := 0
+	buf := make([]netaddr.Addr, 0, len(cur))
+	for h := 0; h < tl.Hours; h++ {
+		for ei < len(tl.Events) && tl.Events[ei].Hour == h {
+			for _, a := range tl.Events[ei].Removed {
+				delete(cur, a)
+			}
+			for _, a := range tl.Events[ei].Added {
+				cur[a] = true
+			}
+			ei++
+		}
+		buf = buf[:0]
+		for a := range cur {
+			buf = append(buf, a)
+		}
+		if err := fn(h, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

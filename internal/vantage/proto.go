@@ -1,0 +1,78 @@
+// Package vantage reimplements the paper's distributed content-mobility
+// measurement (§7.1): vantage-point nodes resolve every monitored name once
+// an hour, each seeing only a partial, locality-biased view of the name's
+// address set, and stream their observations to a central controller over
+// TCP; the controller merges observations per (name, hour) into the union
+// set Addrs(d, t) that the update-cost methodology consumes.
+package vantage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Message is one protocol frame. The wire format is a 4-byte big-endian
+// length followed by the JSON encoding.
+type Message struct {
+	Type  string   `json:"type"` // "hello", "report", or "bye"
+	Node  string   `json:"node,omitempty"`
+	Hour  int      `json:"hour,omitempty"`
+	Name  string   `json:"name,omitempty"`
+	Addrs []string `json:"addrs,omitempty"`
+}
+
+// Message types.
+const (
+	TypeHello  = "hello"
+	TypeReport = "report"
+	TypeBye    = "bye"
+)
+
+// maxFrame bounds a frame to keep a misbehaving peer from ballooning
+// controller memory.
+const maxFrame = 1 << 20
+
+// WriteFrame marshals and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("vantage: marshal frame: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("vantage: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads and unmarshals one frame. io.EOF is returned unwrapped on
+// a clean connection close between frames.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("vantage: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, fmt.Errorf("vantage: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("vantage: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Message{}, fmt.Errorf("vantage: unmarshal frame: %w", err)
+	}
+	return m, nil
+}
