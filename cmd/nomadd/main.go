@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -69,7 +70,7 @@ func run(addr string, users, days int, seed int64) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("nomadd: backend listening on %s\n", base)
 
-	uploaded, err := nomad.RunFleet(base, trace, 8)
+	uploaded, err := nomad.RunFleet(context.Background(), base, trace, 8)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -64,7 +65,7 @@ func run(addr string, nodes, domains, days int, seed int64) error {
 	}
 	fmt.Printf("vantaged: controller on %s, %d nodes, %d names, %d hourly rounds\n",
 		ctrl.Addr(), nodes, len(tls), hours)
-	if err := vantage.Sweep(ctrl.Addr(), nodes, tls, vantage.PartialView(4)); err != nil {
+	if err := vantage.Sweep(context.Background(), ctrl.Addr(), nodes, tls, vantage.PartialView(4)); err != nil {
 		return err
 	}
 	if err := ctrl.Close(); err != nil {

@@ -136,43 +136,51 @@ func (s *Scheme) MeanTableSize() float64 {
 
 // Route returns the hop count of the compact route from src to the given
 // address: direct when the destination is a landmark or in src's cluster,
-// otherwise via the destination's landmark.
-func (s *Scheme) Route(src int, dst Address) int {
+// otherwise via the destination's landmark. An address naming a landmark
+// this scheme does not know is a malformed packet, reported as an error.
+func (s *Scheme) Route(src int, dst Address) (int, error) {
 	if src == dst.Node {
-		return 0
+		return 0, nil
 	}
 	for i, lm := range s.landmarks {
 		if lm == dst.Node {
-			return s.lmDist[i][src]
+			return s.lmDist[i][src], nil
 		}
 	}
 	for _, w := range s.cluster[src] {
 		if w == dst.Node {
-			return s.hops[src][dst.Node]
+			return s.hops[src][dst.Node], nil
 		}
 	}
 	// Via the landmark: src -> lm(dst) -> dst.
-	li := s.landmarkIndex(dst.Landmark)
-	return s.lmDist[li][src] + s.lmDist[li][dst.Node]
+	li, err := s.landmarkIndex(dst.Landmark)
+	if err != nil {
+		return 0, err
+	}
+	return s.lmDist[li][src] + s.lmDist[li][dst.Node], nil
 }
 
-func (s *Scheme) landmarkIndex(lm int) int {
+func (s *Scheme) landmarkIndex(lm int) (int, error) {
 	for i, l := range s.landmarks {
 		if l == lm {
-			return i
+			return i, nil
 		}
 	}
-	panic("compact: address with unknown landmark")
+	return 0, fmt.Errorf("compact: address with unknown landmark %d", lm)
 }
 
 // Stretch returns the multiplicative stretch of the compact route from src
 // to dst (1.0 = shortest path). Adjacent-or-same pairs return 1.
-func (s *Scheme) Stretch(src, dst int) float64 {
+func (s *Scheme) Stretch(src, dst int) (float64, error) {
 	direct := s.hops[src][dst]
 	if direct == 0 {
-		return 1
+		return 1, nil
 	}
-	return float64(s.Route(src, s.AddressOf(dst))) / float64(direct)
+	route, err := s.Route(src, s.AddressOf(dst))
+	if err != nil {
+		return 0, err
+	}
+	return float64(route) / float64(direct), nil
 }
 
 // Evaluation summarizes a scheme against exact shortest-path routing.
@@ -188,7 +196,7 @@ type Evaluation struct {
 }
 
 // Evaluate measures stretch over all ordered pairs.
-func (s *Scheme) Evaluate() Evaluation {
+func (s *Scheme) Evaluate() (Evaluation, error) {
 	n := s.g.N()
 	ev := Evaluation{
 		N:         n,
@@ -204,7 +212,10 @@ func (s *Scheme) Evaluate() Evaluation {
 			if src == dst {
 				continue
 			}
-			st := s.Stretch(src, dst)
+			st, err := s.Stretch(src, dst)
+			if err != nil {
+				return ev, err
+			}
 			total += st
 			count++
 			if st > ev.MaxStretch {
@@ -216,7 +227,7 @@ func (s *Scheme) Evaluate() Evaluation {
 	if count > 0 {
 		ev.MeanStretch = total / float64(count)
 	}
-	return ev
+	return ev, nil
 }
 
 // String renders the evaluation.

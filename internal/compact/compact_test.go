@@ -56,7 +56,10 @@ func TestStretchBound(t *testing.T) {
 		{"chain", topology.Chain(40)},
 	} {
 		s := mustScheme(t, tc.g, 0, 11)
-		ev := s.Evaluate()
+		ev, err := s.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if ev.MaxStretch > 3.0+1e-9 {
 			t.Errorf("%s: max stretch %.3f exceeds the TZ bound 3 (pair %v)",
 				tc.name, ev.MaxStretch, ev.WorstCasePair)
@@ -75,13 +78,17 @@ func TestExactRoutesWhereTablesExist(t *testing.T) {
 	hops := g.AllPairsHops()
 	for _, lm := range s.Landmarks() {
 		for src := 0; src < g.N(); src++ {
-			if got := s.Route(src, s.AddressOf(lm)); got != hops[src][lm] {
+			got, err := s.Route(src, s.AddressOf(lm))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != hops[src][lm] {
 				t.Fatalf("route to landmark %d from %d = %d, want %d", lm, src, got, hops[src][lm])
 			}
 		}
 	}
-	if s.Route(5, s.AddressOf(5)) != 0 {
-		t.Fatal("self route should be 0")
+	if d, err := s.Route(5, s.AddressOf(5)); err != nil || d != 0 {
+		t.Fatalf("self route = (%d, %v), want 0", d, err)
 	}
 }
 
@@ -91,7 +98,10 @@ func TestTableCompression(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := topology.PreferentialAttachment(400, 3, rng)
 	s := mustScheme(t, g, 0, 13)
-	ev := s.Evaluate()
+	ev, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ev.MeanTable >= float64(ev.FlatTable)/3 {
 		t.Fatalf("mean table %.1f not well below flat %d", ev.MeanTable, ev.FlatTable)
 	}
@@ -108,7 +118,10 @@ func TestLandmarkSweep(t *testing.T) {
 	g := topology.PreferentialAttachment(150, 2, rng)
 	for _, k := range []int{2, 6, 12, 30, 75} {
 		s := mustScheme(t, g, k, 5)
-		ev := s.Evaluate()
+		ev, err := s.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if ev.MaxStretch > 3+1e-9 {
 			t.Errorf("k=%d: stretch bound broken: %v", k, ev)
 		}
@@ -124,6 +137,42 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Evaluate()
+		if _, err := s.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A malformed address naming a landmark the scheme never chose must surface
+// as an error, not a panic — the router drops the packet and reports it.
+func TestRouteUnknownLandmark(t *testing.T) {
+	g := topology.Chain(20)
+	s := mustScheme(t, g, 2, 1)
+	isLandmark := map[int]bool{}
+	for _, lm := range s.Landmarks() {
+		isLandmark[lm] = true
+	}
+	checked := false
+	for src := 0; src < g.N() && !checked; src++ {
+		inCluster := map[int]bool{}
+		for _, w := range s.cluster[src] {
+			inCluster[w] = true
+		}
+		for dst := 0; dst < g.N(); dst++ {
+			if dst == src || isLandmark[dst] || inCluster[dst] {
+				continue
+			}
+			if _, err := s.Route(src, Address{Node: dst, Landmark: -1}); err == nil {
+				t.Fatalf("route %d->%d with bogus landmark must error", src, dst)
+			}
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		t.Fatal("no pair exercised the landmark lookup")
+	}
+	if _, err := s.landmarkIndex(-1); err == nil {
+		t.Fatal("unknown landmark index must error")
 	}
 }

@@ -55,7 +55,7 @@ func PublishDeployment(tls []cdn.Timeline) (*Authority, error) {
 		}
 	}
 
-	for apex, z := range zones {
+	for _, z := range zones {
 		z.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
 			tl := timelineFor[name]
 			if tl == nil {
@@ -63,7 +63,6 @@ func PublishDeployment(tls []cdn.Timeline) (*Authority, error) {
 			}
 			return localitySubset(tl.SetAt(now/TicksPerHour), name, vantage)
 		})
-		_ = apex
 	}
 	operator.SetDynamic(func(name names.Name, vantage, now int) []netaddr.Addr {
 		tl := aliasFor[name]

@@ -184,7 +184,11 @@ func RunCompact(seed int64) (CompactResult, error) {
 		if err != nil {
 			return res, err
 		}
-		res.Points = append(res.Points, s.Evaluate())
+		ev, err := s.Evaluate()
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, ev)
 	}
 	return res, nil
 }

@@ -1,0 +1,94 @@
+// Package faultnet is a deterministic fault-injecting transport: wrappers
+// around net.PacketConn (for the GNS UDP resolution protocol) and
+// net.Conn/net.Listener (for the NomadLog HTTP upload and vantage TCP
+// collection pipelines) that drop, delay, duplicate, reorder and truncate
+// datagrams, refuse and reset connections, stall and throttle streams — the
+// failure vocabulary of the hostile networks the paper measured on
+// (intermittent cellular/WiFi uplinks, PlanetLab node churn).
+//
+// Every fault decision is drawn from one explicit *rand.Rand owned by an
+// Env, in a fixed per-packet/per-connection order, and every injected wait
+// goes through the Env's sleep hook. Given the same seed and the same
+// sequence of operations, a chaos run therefore replays byte-for-byte:
+// identical drops, identical delivery orders, identical resets. Tests
+// assert this by comparing Env.Trace() across runs.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Env owns the randomness and the clock for one fault-injection domain.
+// All wrappers sharing an Env draw from the same seeded stream under one
+// lock, which is what makes single-client chaos runs fully deterministic.
+type Env struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sleep func(time.Duration)
+	trace []string
+	stats Stats
+}
+
+// Stats counts injected faults, by kind.
+type Stats struct {
+	Dropped    int
+	Duplicated int
+	Reordered  int
+	Truncated  int
+	Delayed    int
+	Refused    int
+	Reset      int
+	Stalled    int
+	Throttled  int
+}
+
+// NewEnv creates a fault domain seeded with seed. Waits use time.Sleep
+// until SetSleep installs a virtual clock.
+func NewEnv(seed int64) *Env {
+	return &Env{rng: rand.New(rand.NewSource(seed)), sleep: time.Sleep}
+}
+
+// SetSleep replaces the wait implementation — the virtual-clock hook. Tests
+// install a no-op (or a recording function) so delay faults cost no wall
+// time while remaining part of the deterministic trace.
+func (e *Env) SetSleep(fn func(time.Duration)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fn == nil {
+		fn = time.Sleep
+	}
+	e.sleep = fn
+}
+
+// Stats returns a snapshot of the fault counters.
+func (e *Env) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Trace returns the ordered log of injected faults. Two runs with the same
+// seed and operation sequence produce identical traces.
+func (e *Env) Trace() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.trace...)
+}
+
+// record appends one fault event to the trace. Callers hold e.mu.
+func (e *Env) record(format string, args ...any) {
+	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+}
+
+// doSleep waits via the hook without holding the lock.
+func (e *Env) doSleep(d time.Duration) {
+	e.mu.Lock()
+	fn := e.sleep
+	e.mu.Unlock()
+	if d > 0 {
+		fn(d)
+	}
+}

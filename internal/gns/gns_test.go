@@ -1,10 +1,12 @@
 package gns
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"locind/internal/netaddr"
 )
@@ -200,15 +202,16 @@ func TestUDPServerRoundTrip(t *testing.T) {
 	}
 	defer srv.Close()
 
+	ctx := context.Background()
 	c := NewClient(srv.Addr())
-	ver, err := c.Update("dave.phone", addrs("10.1.2.3", "10.4.5.6"))
+	ver, err := c.Update(ctx, "dave.phone", addrs("10.1.2.3", "10.4.5.6"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ver == 0 {
 		t.Fatal("version must be assigned")
 	}
-	rec, err := c.Lookup("dave.phone")
+	rec, err := c.Lookup(ctx, "dave.phone")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +219,10 @@ func TestUDPServerRoundTrip(t *testing.T) {
 		t.Fatalf("lookup = %+v", rec)
 	}
 	// Errors surface through the protocol.
-	if _, err := c.Lookup("missing"); err == nil {
+	if _, err := c.Lookup(ctx, "missing"); err == nil {
 		t.Fatal("missing name should error")
 	}
-	if _, err := c.Update("x", []netaddr.Addr{}); err != nil {
+	if _, err := c.Update(ctx, "x", []netaddr.Addr{}); err != nil {
 		t.Fatalf("empty update should be legal: %v", err)
 	}
 }
@@ -246,8 +249,8 @@ func TestUDPServerBadInput(t *testing.T) {
 func TestClientUnreachable(t *testing.T) {
 	c := NewClient("127.0.0.1:1")
 	c.Retries = 0
-	c.Timeout = 50 * 1e6 // 50ms
-	if _, err := c.Lookup("x"); err == nil {
+	c.Timeout = 50 * time.Millisecond
+	if _, err := c.Lookup(context.Background(), "x"); err == nil {
 		t.Fatal("unreachable server should error")
 	}
 }

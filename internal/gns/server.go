@@ -1,12 +1,16 @@
 package gns
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"locind/internal/netaddr"
+	"locind/internal/reliable"
 )
 
 // Request is a UDP resolution-protocol message.
@@ -29,10 +33,11 @@ type Response struct {
 const maxDatagram = 8192
 
 // Server exposes a Service over UDP, one datagram per request/response —
-// the same interaction pattern as DNS.
+// the same interaction pattern as DNS. The transport is any
+// net.PacketConn, so chaos tests interpose a faultnet wrapper.
 type Server struct {
 	svc  *Service
-	conn *net.UDPConn
+	conn net.PacketConn
 	done chan struct{}
 }
 
@@ -40,17 +45,19 @@ type Server struct {
 // returns once the socket is bound; handling proceeds in the background
 // until Close.
 func Serve(svc *Service, addr string) (*Server, error) {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, err
-	}
+	return ServePacketConn(svc, conn), nil
+}
+
+// ServePacketConn serves svc on an already-bound packet transport — the
+// seam where fault-injecting wrappers plug in.
+func ServePacketConn(svc *Service, conn net.PacketConn) *Server {
 	s := &Server{svc: svc, conn: conn, done: make(chan struct{})}
 	go s.loop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address.
@@ -65,22 +72,40 @@ func (s *Server) Close() error {
 
 func (s *Server) loop() {
 	defer close(s.done)
-	buf := make([]byte, maxDatagram)
+	// One byte of headroom: a read that fills past maxDatagram means the
+	// peer sent an oversized (or kernel-truncated) request, which gets a
+	// structured rejection instead of a silently mangled parse.
+	buf := make([]byte, maxDatagram+1)
 	for {
-		n, peer, err := s.conn.ReadFromUDP(buf)
+		n, peer, err := s.conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
-		resp := s.handle(buf[:n])
+		var resp Response
+		if n > maxDatagram {
+			resp = Response{Err: fmt.Sprintf("gns: datagram exceeds %d bytes", maxDatagram)}
+		} else {
+			resp = s.handle(buf[:n])
+		}
 		out, err := json.Marshal(resp)
 		if err != nil {
-			continue
+			// A response that cannot be marshalled still deserves an
+			// answer the client can parse, not a silent drop.
+			out = []byte(`{"ok":false,"err":"gns: internal marshal failure"}`)
 		}
-		s.conn.WriteToUDP(out, peer) //nolint:errcheck // lost replies look like drops; the client retries
+		s.conn.WriteTo(out, peer) //nolint:errcheck // lost replies look like drops; the client retries
 	}
 }
 
-func (s *Server) handle(raw []byte) Response {
+// handle dispatches one request. A panic in request handling is converted
+// into a structured error response so one malformed request can never kill
+// the serve loop.
+func (s *Server) handle(raw []byte) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Err: fmt.Sprintf("gns: internal error: %v", r)}
+		}
+	}()
 	var req Request
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return Response{Err: "bad request: " + err.Error()}
@@ -115,57 +140,117 @@ func (s *Server) handle(raw []byte) Response {
 	}
 }
 
-// Client is the resolver side of the UDP protocol, with timeout and retry
-// (UDP datagrams may be dropped).
+// Client is the resolver side of the UDP protocol. Datagrams vanish on
+// lossy paths, so every round trip runs under a reliable.Policy:
+// per-attempt timeouts, exponential backoff with deterministic jitter, an
+// optional shared retry budget, and — for lookups — graceful degradation to
+// the last known binding when the network stays down (the stale-mapping
+// operating regime of loc/ID caches).
 type Client struct {
 	ServerAddr string
-	Timeout    time.Duration
-	Retries    int
+	// Timeout bounds each attempt (dial + round trip).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a failed one.
+	Retries int
+	// Backoff schedules pauses between attempts.
+	Backoff reliable.Backoff
+	// Rand supplies backoff jitter; nil disables jitter. Chaos tests seed
+	// this for reproducible retry schedules.
+	Rand *rand.Rand
+	// Budget, when non-nil, caps retries across all calls on this client.
+	Budget *reliable.Budget
+	// Sleep overrides the inter-attempt wait (virtual clock hook).
+	Sleep func(ctx context.Context, d time.Duration) error
+	// AllowStale serves the last successfully resolved binding when a
+	// lookup exhausts its retries, marking the Record's provenance via
+	// StaleServed.
+	AllowStale bool
+
+	cache    reliable.Cache[string, Record]
+	attempts atomic.Int64
+	stale    atomic.Int64
 }
 
-// NewClient builds a client with sane defaults.
+// NewClient builds a client with sane defaults: 500ms per attempt, 3
+// retries, exponential backoff from 50ms capped at 1s.
 func NewClient(serverAddr string) *Client {
-	return &Client{ServerAddr: serverAddr, Timeout: 500 * time.Millisecond, Retries: 3}
+	return &Client{
+		ServerAddr: serverAddr,
+		Timeout:    500 * time.Millisecond,
+		Retries:    3,
+		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+	}
 }
 
-func (c *Client) roundTrip(req Request) (Response, error) {
+func (c *Client) policy() reliable.Policy {
+	return reliable.Policy{
+		MaxAttempts: c.Retries + 1,
+		PerAttempt:  c.Timeout,
+		Backoff:     c.Backoff,
+		Rand:        c.Rand,
+		Budget:      c.Budget,
+		Sleep:       c.Sleep,
+	}
+}
+
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return Response{}, err
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		conn, err := net.Dial("udp", c.ServerAddr)
+	var resp Response
+	attempts, err := c.policy().Do(ctx, func(ctx context.Context) error {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
 		if err != nil {
-			return Response{}, err
+			return err
 		}
-		conn.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+		defer conn.Close()
+		if dl, ok := ctx.Deadline(); ok {
+			conn.SetDeadline(dl) //nolint:errcheck
+		}
 		if _, err := conn.Write(payload); err != nil {
-			conn.Close()
-			lastErr = err
-			continue
+			return err
 		}
-		buf := make([]byte, maxDatagram)
+		buf := make([]byte, maxDatagram+1)
 		n, err := conn.Read(buf)
-		conn.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
-		var resp Response
-		if err := json.Unmarshal(buf[:n], &resp); err != nil {
-			lastErr = err
-			continue
+		var r Response
+		if err := json.Unmarshal(buf[:n], &r); err != nil {
+			return err
 		}
-		return resp, nil
+		resp = r
+		return nil
+	})
+	c.attempts.Add(int64(attempts))
+	if err != nil {
+		return Response{}, fmt.Errorf("gns: no response after %d attempts: %w", attempts, err)
 	}
-	return Response{}, fmt.Errorf("gns: no response after %d attempts: %w", c.Retries+1, lastErr)
+	return resp, nil
 }
 
-// Lookup resolves a name over UDP.
-func (c *Client) Lookup(name string) (Record, error) {
-	resp, err := c.roundTrip(Request{Op: "lookup", Name: name})
+// Attempts returns the total number of network attempts this client has
+// made — the quantity chaos tests compare across same-seed runs.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
+
+// StaleServed returns how many lookups were answered from the stale cache.
+func (c *Client) StaleServed() int64 { return c.stale.Load() }
+
+// Lookup resolves a name over UDP. ctx bounds the whole retry loop; each
+// attempt is additionally capped by c.Timeout. With AllowStale set, a
+// lookup that exhausts its retries degrades to the last binding this
+// client resolved successfully (StaleServed counts such answers).
+func (c *Client) Lookup(ctx context.Context, name string) (Record, error) {
+	resp, err := c.roundTrip(ctx, Request{Op: "lookup", Name: name})
 	if err != nil {
+		if c.AllowStale {
+			if rec, ok := c.cache.Get(name); ok {
+				c.stale.Add(1)
+				return rec, nil
+			}
+		}
 		return Record{}, err
 	}
 	if !resp.OK {
@@ -179,16 +264,17 @@ func (c *Client) Lookup(name string) (Record, error) {
 		}
 		rec.Addrs = append(rec.Addrs, a)
 	}
+	c.cache.Put(name, rec)
 	return rec, nil
 }
 
-// Update installs a binding over UDP.
-func (c *Client) Update(name string, addrs []netaddr.Addr) (uint64, error) {
+// Update installs a binding over UDP. ctx bounds the whole retry loop.
+func (c *Client) Update(ctx context.Context, name string, addrs []netaddr.Addr) (uint64, error) {
 	req := Request{Op: "update", Name: name}
 	for _, a := range addrs {
 		req.Addrs = append(req.Addrs, a.String())
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return 0, err
 	}

@@ -1,11 +1,25 @@
 package nomad
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"locind/internal/mobility"
+	"locind/internal/reliable"
 )
+
+// batch is a sealed group of log entries with a stable upload identity.
+// Sealing is what makes store-and-forward exactly-once: the entries and ID
+// are frozen at the first upload attempt, so a retry (or a later
+// opportunity) replays the identical batch and the server can dedup it —
+// a failed /upload can neither lose nor duplicate records.
+type batch struct {
+	id      string
+	entries []Entry
+}
 
 // Agent replays one device's mobility trace through the measurement
 // pipeline: on every connectivity event it asks the server for its
@@ -19,14 +33,26 @@ type Agent struct {
 	// "plugged in at home/work" and therefore safe to upload during.
 	MinUploadDwell float64
 	// UploadRetries is how many extra attempts a failed batch upload gets
-	// before the agent gives up for this opportunity and keeps the records
-	// buffered for the next long dwell — store-and-forward, like the app.
+	// before the agent gives up for this opportunity and keeps the batch
+	// queued for the next long dwell — store-and-forward, like the app.
 	UploadRetries int
+	// Backoff schedules pauses between upload retries.
+	Backoff reliable.Backoff
+	// Rand supplies backoff jitter; nil disables jitter. Chaos tests seed
+	// this for reproducible retry schedules.
+	Rand *rand.Rand
+	// Sleep overrides the inter-attempt wait (virtual clock hook).
+	Sleep func(ctx context.Context, d time.Duration) error
 
 	deviceID string
-	pending  []Entry
+	pending  []Entry // records not yet sealed into a batch
+	queue    []batch // sealed batches awaiting upload, oldest first
+	seq      int
 	// UploadFailures counts upload opportunities that exhausted retries.
 	UploadFailures int
+	// UploadAttempts counts every /upload request made — the quantity
+	// chaos tests compare across same-seed runs.
+	UploadAttempts int
 }
 
 // NewAgent creates an agent for the raw device identifier (hashed before it
@@ -36,6 +62,7 @@ func NewAgent(client *Client, rawDeviceID string) *Agent {
 		Client:         client,
 		MinUploadDwell: 2.0,
 		UploadRetries:  2,
+		Backoff:        reliable.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second},
 		deviceID:       HashDeviceID(rawDeviceID),
 	}
 }
@@ -43,17 +70,84 @@ func NewAgent(client *Client, rawDeviceID string) *Agent {
 // DeviceID returns the hashed identifier the agent reports.
 func (a *Agent) DeviceID() string { return a.deviceID }
 
-// Pending returns the number of buffered, not-yet-uploaded records.
-func (a *Agent) Pending() int { return len(a.pending) }
+// Pending returns the number of buffered, not-yet-stored records (loose
+// records plus entries in sealed batches still awaiting upload).
+func (a *Agent) Pending() int {
+	n := len(a.pending)
+	for _, b := range a.queue {
+		n += len(b.entries)
+	}
+	return n
+}
+
+func (a *Agent) policy() reliable.Policy {
+	return reliable.Policy{
+		MaxAttempts: a.UploadRetries + 1,
+		Backoff:     a.Backoff,
+		Rand:        a.Rand,
+		Sleep:       a.Sleep,
+	}
+}
+
+// seal freezes the loose pending records into a batch with a fresh stable
+// ID and queues it behind any batches still awaiting upload.
+func (a *Agent) seal() {
+	if len(a.pending) == 0 {
+		return
+	}
+	a.seq++
+	a.queue = append(a.queue, batch{
+		id:      fmt.Sprintf("%s-b%06d", a.deviceID, a.seq),
+		entries: a.pending,
+	})
+	a.pending = nil
+}
+
+// drainQueue uploads sealed batches oldest-first, stopping at the first
+// batch that exhausts its retries (the rest wait for the next
+// opportunity). It returns the number of records successfully stored.
+func (a *Agent) drainQueue(ctx context.Context) (int, error) {
+	uploaded := 0
+	for len(a.queue) > 0 {
+		b := a.queue[0]
+		attempts, err := a.policy().Do(ctx, func(ctx context.Context) error {
+			return a.Client.Upload(ctx, b.id, b.entries)
+		})
+		a.UploadAttempts += attempts
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return uploaded, ctxErr
+			}
+			a.UploadFailures++
+			return uploaded, nil // keep the batch queued; not fatal
+		}
+		uploaded += len(b.entries)
+		a.queue = a.queue[1:]
+	}
+	return uploaded, nil
+}
 
 // Replay runs the whole trace through the pipeline. It returns the number
-// of records uploaded. Records still pending at the end of the trace remain
-// buffered (exactly like a device that was never plugged in).
-func (a *Agent) Replay(u *mobility.UserTrace) (int, error) {
+// of records uploaded. Records still buffered at the end of the trace stay
+// queued (exactly like a device that was never plugged in); Flush drains
+// them explicitly.
+func (a *Agent) Replay(ctx context.Context, u *mobility.UserTrace) (int, error) {
 	uploaded := 0
 	for _, v := range u.Visits {
+		if err := ctx.Err(); err != nil {
+			return uploaded, err
+		}
 		// Connectivity event: learn the public address, buffer the record.
-		ip, err := a.Client.PublicIP(v.Loc.Addr.String())
+		// The echo request rides the same retry policy as uploads — a tiny
+		// request on a flaky link.
+		var ip string
+		_, err := a.policy().Do(ctx, func(ctx context.Context) error {
+			got, err := a.Client.PublicIP(ctx, v.Loc.Addr.String())
+			if err == nil {
+				ip = got
+			}
+			return err
+		})
 		if err != nil {
 			return uploaded, fmt.Errorf("nomad: device %s ip-echo: %w", a.deviceID, err)
 		}
@@ -63,32 +157,33 @@ func (a *Agent) Replay(u *mobility.UserTrace) (int, error) {
 			IPAddr:   ip,
 			NetType:  v.Loc.Net.String(),
 		})
-		// Long WiFi dwell: treat as powered, flush the buffer. A transient
-		// upload failure is not fatal — the records stay buffered and the
-		// next opportunity retries, exactly like the app's
+		// Long WiFi dwell: treat as powered, seal and flush the buffer. A
+		// transient upload failure is not fatal — sealed batches stay
+		// queued and the next opportunity resumes, exactly like the app's
 		// "previously untransferred log files" behaviour.
 		if v.Loc.Net == mobility.WiFi && v.Dur >= a.MinUploadDwell {
-			var err error
-			for attempt := 0; attempt <= a.UploadRetries; attempt++ {
-				if err = a.Client.Upload(a.pending); err == nil {
-					break
-				}
-			}
+			a.seal()
+			n, err := a.drainQueue(ctx)
+			uploaded += n
 			if err != nil {
-				a.UploadFailures++
-				continue
+				return uploaded, err
 			}
-			uploaded += len(a.pending)
-			a.pending = a.pending[:0]
 		}
 	}
 	return uploaded, nil
 }
 
+// Flush seals any loose records and drains the whole upload queue — the
+// device plugged in at end of study. It returns the records stored.
+func (a *Agent) Flush(ctx context.Context) (int, error) {
+	a.seal()
+	return a.drainQueue(ctx)
+}
+
 // RunFleet replays every user in the trace concurrently against the server
 // at baseURL, with at most parallel agents in flight. It returns the total
-// number of uploaded records.
-func RunFleet(baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
+// number of uploaded records. ctx cancels the whole fleet.
+func RunFleet(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -107,7 +202,7 @@ func RunFleet(baseURL string, dt *mobility.DeviceTrace, parallel int) (int, erro
 			defer wg.Done()
 			defer func() { <-sem }()
 			agent := NewAgent(NewClient(baseURL), fmt.Sprintf("device-%d", u.ID))
-			n, err := agent.Replay(u)
+			n, err := agent.Replay(ctx, u)
 			mu.Lock()
 			defer mu.Unlock()
 			total += n

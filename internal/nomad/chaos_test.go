@@ -1,0 +1,257 @@
+package nomad
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"locind/internal/faultnet"
+	"locind/internal/mobility"
+	"locind/internal/reliable"
+)
+
+// chaosBackend starts the NomadLog backend behind a fault-injecting
+// listener and returns the server plus its base URL.
+func chaosBackend(t *testing.T, env *faultnet.Env, faults faultnet.StreamFaults) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(faultnet.WrapListener(ln, env, faults)) //nolint:errcheck
+	t.Cleanup(func() { hs.Close() })
+	return srv, "http://" + ln.Addr().String()
+}
+
+// chaosAgent builds a deterministic agent: fresh connection per request (so
+// each request maps to exactly one fault decision, in order), seeded
+// jitter, and no real sleeping.
+func chaosAgent(baseURL, rawID string, jitterSeed int64) *Agent {
+	cli := NewClient(baseURL)
+	cli.HTTP = &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	a := NewAgent(cli, rawID)
+	a.UploadRetries = 12
+	a.Backoff = reliable.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Jitter: 0.5}
+	a.Rand = rand.New(rand.NewSource(jitterSeed))
+	a.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	return a
+}
+
+// nomadChaosOutcome is what one run observes, for fault-free and same-seed
+// comparison.
+type nomadChaosOutcome struct {
+	stored   []Entry
+	uploaded int
+	attempts int
+	failures int
+	dups     int
+}
+
+// runNomadChaos replays one device's trace against a backend with the
+// given faults, flushing at the end, and returns the outcome.
+func runNomadChaos(t *testing.T, u *mobility.UserTrace, faults faultnet.StreamFaults, envSeed, jitterSeed int64) nomadChaosOutcome {
+	t.Helper()
+	env := faultnet.NewEnv(envSeed)
+	env.SetSleep(func(time.Duration) {})
+	srv, base := chaosBackend(t, env, faults)
+	agent := chaosAgent(base, "chaos-device", jitterSeed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	uploaded, err := agent.Replay(ctx, u)
+	if err != nil {
+		t.Fatalf("chaos replay: %v", err)
+	}
+	// End of study: the device gets plugged in and drains what's left.
+	// Under transient faults this must eventually succeed.
+	for agent.Pending() > 0 {
+		n, err := agent.Flush(ctx)
+		if err != nil {
+			t.Fatalf("chaos flush: %v", err)
+		}
+		uploaded += n
+		if ctx.Err() != nil {
+			t.Fatal("flush did not converge before deadline")
+		}
+	}
+	return nomadChaosOutcome{
+		stored:   srv.Store.ByDevice(agent.DeviceID()),
+		uploaded: uploaded,
+		attempts: agent.UploadAttempts,
+		failures: agent.UploadFailures,
+		dups:     srv.Store.DuplicateBatches(),
+	}
+}
+
+// TestChaosUploadExactlyOnce is the headline claim for the upload
+// pipeline: under connection refusals and mid-stream resets — including
+// resets that land after the server committed but before the device saw
+// the response — the store ends up with exactly the fault-free record
+// sequence: nothing lost, nothing duplicated.
+func TestChaosUploadExactlyOnce(t *testing.T) {
+	dt := smallTrace(t)
+	u := &dt.Users[0]
+	clean := runNomadChaos(t, u, faultnet.StreamFaults{}, 1, 2)
+	// Reset budgets sized to the pipeline's actual request/response sizes,
+	// so resets land before, during, and after the server's commit point.
+	dirty := runNomadChaos(t, u, faultnet.StreamFaults{
+		Refuse:        0.2,
+		Reset:         0.3,
+		ResetAfterMin: 1,
+		ResetAfterMax: 400,
+	}, 5, 4)
+
+	if dirty.attempts <= clean.attempts {
+		t.Fatalf("chaos run made %d attempts vs clean %d; faults injected nothing",
+			dirty.attempts, clean.attempts)
+	}
+	if len(clean.stored) != len(u.Visits) {
+		t.Fatalf("fault-free run stored %d of %d visits", len(clean.stored), len(u.Visits))
+	}
+	if len(dirty.stored) != len(clean.stored) {
+		t.Fatalf("chaos stored %d records, fault-free %d (lost or duplicated entries)",
+			len(dirty.stored), len(clean.stored))
+	}
+	for i := range clean.stored {
+		if clean.stored[i] != dirty.stored[i] {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, clean.stored[i], dirty.stored[i])
+		}
+	}
+	if dirty.uploaded != len(dirty.stored) {
+		t.Fatalf("agent counted %d uploads, store holds %d", dirty.uploaded, len(dirty.stored))
+	}
+}
+
+// TestChaosUploadDeterministicReplay: same seeds, same outcome — retry
+// counts, failure counts, dedup hits, and stored bytes all replay.
+func TestChaosUploadDeterministicReplay(t *testing.T) {
+	dt := smallTrace(t)
+	u := &dt.Users[2]
+	faults := faultnet.StreamFaults{Refuse: 0.2, Reset: 0.3, ResetAfterMin: 1, ResetAfterMax: 400}
+	a := runNomadChaos(t, u, faults, 7, 8)
+	b := runNomadChaos(t, u, faults, 7, 8)
+	if a.attempts != b.attempts || a.failures != b.failures || a.dups != b.dups {
+		t.Fatalf("same-seed runs diverged: attempts %d/%d failures %d/%d dups %d/%d",
+			a.attempts, b.attempts, a.failures, b.failures, a.dups, b.dups)
+	}
+	if len(a.stored) != len(b.stored) {
+		t.Fatalf("stored %d vs %d", len(a.stored), len(b.stored))
+	}
+	for i := range a.stored {
+		if a.stored[i] != b.stored[i] {
+			t.Fatalf("record %d diverged across same-seed runs", i)
+		}
+	}
+}
+
+// TestUploadCommittedButResponseLost pins the nastiest failure mode
+// deterministically: the server commits the batch, then the response dies
+// on the wire. The device must retry (it cannot know the batch landed) and
+// the store must recognise the replay — one copy, exactly once.
+func TestUploadCommittedButResponseLost(t *testing.T) {
+	srv := NewServer()
+	lostResponses := 2
+	mangler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/upload" && lostResponses > 0 {
+			lostResponses--
+			// Let the real handler commit, then kill the connection
+			// instead of answering — a response lost in transit.
+			srv.ServeHTTP(httptest.NewRecorder(), r)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("test server must support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		srv.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(mangler)
+	defer ts.Close()
+
+	agent := NewAgent(NewClient(ts.URL), "device-lost")
+	agent.UploadRetries = 5
+	agent.Backoff = reliable.Backoff{}
+	agent.pending = []Entry{
+		{DeviceID: agent.DeviceID(), Time: 1, IPAddr: "10.0.0.1", NetType: "wifi"},
+		{DeviceID: agent.DeviceID(), Time: 2, IPAddr: "10.0.0.2", NetType: "wifi"},
+	}
+	n, err := agent.Flush(context.Background())
+	if err != nil || n != 2 {
+		t.Fatalf("Flush = (%d, %v)", n, err)
+	}
+	if got := srv.Store.ByDevice(agent.DeviceID()); len(got) != 2 {
+		t.Fatalf("store has %d records, want exactly 2 (no duplicates from replays)", len(got))
+	}
+	if srv.Store.DuplicateBatches() != 2 {
+		t.Fatalf("dedup hits = %d, want 2 (one per lost response)", srv.Store.DuplicateBatches())
+	}
+	if agent.UploadAttempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two lost responses + success)", agent.UploadAttempts)
+	}
+}
+
+// TestBatchDedupDirectly pins the store-level idempotence contract the
+// chaos runs rely on.
+func TestBatchDedupDirectly(t *testing.T) {
+	var s LogStore
+	es := []Entry{{DeviceID: "dev-1", Time: 1, IPAddr: "1.1.1.1"}}
+	if !s.AppendBatch("b1", es) {
+		t.Fatal("first application must store")
+	}
+	if s.AppendBatch("b1", es) {
+		t.Fatal("replay must be deduplicated")
+	}
+	if s.Len() != 1 || s.DuplicateBatches() != 1 {
+		t.Fatalf("len=%d dups=%d", s.Len(), s.DuplicateBatches())
+	}
+	// Empty IDs never dedup (legacy unconditional append).
+	if !s.AppendBatch("", es) || !s.AppendBatch("", es) {
+		t.Fatal("empty batch ID must always apply")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestFlushDrainsBacklog: an agent that never saw a long dwell still
+// delivers everything on an explicit flush, split across the sealed
+// batches its failed opportunities left behind.
+func TestFlushDrainsBacklog(t *testing.T) {
+	srv, ts := newTestServer(t)
+	agent := NewAgent(NewClient(ts.URL), "device-f")
+	agent.Backoff = reliable.Backoff{}
+	for i := 0; i < 5; i++ {
+		agent.pending = append(agent.pending, Entry{
+			DeviceID: agent.DeviceID(), Time: float64(i), IPAddr: fmt.Sprintf("10.0.0.%d", i), NetType: "wifi",
+		})
+		if i%2 == 0 {
+			agent.seal()
+		}
+	}
+	n, err := agent.Flush(context.Background())
+	if err != nil || n != 5 {
+		t.Fatalf("Flush = (%d, %v)", n, err)
+	}
+	if agent.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", agent.Pending())
+	}
+	if srv.Store.Len() != 5 {
+		t.Fatalf("store len = %d", srv.Store.Len())
+	}
+}

@@ -13,6 +13,7 @@
 package nomad
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -45,17 +46,49 @@ func HashDeviceID(raw string) string {
 }
 
 // LogStore is the postgres substitute: a concurrency-safe, append-only
-// record store.
+// record store with at-most-once batch application. Devices upload sealed
+// batches tagged with stable IDs; a batch replayed after a lost response is
+// recognised and skipped, so retries can never duplicate log entries.
 type LogStore struct {
 	mu      sync.Mutex
 	entries []Entry
+	seen    map[string]bool
+	dups    int
 }
 
-// Append adds records to the store.
+// Append adds records to the store unconditionally (no dedup).
 func (s *LogStore) Append(es ...Entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.entries = append(s.entries, es...)
+}
+
+// AppendBatch applies a batch exactly once per non-empty batchID,
+// reporting whether the records were stored (false = duplicate replay).
+// An empty batchID always applies.
+func (s *LogStore) AppendBatch(batchID string, es []Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if batchID != "" {
+		if s.seen[batchID] {
+			s.dups++
+			return false
+		}
+		if s.seen == nil {
+			s.seen = map[string]bool{}
+		}
+		s.seen[batchID] = true
+	}
+	s.entries = append(s.entries, es...)
+	return true
+}
+
+// DuplicateBatches returns how many batch replays were deduplicated — the
+// visible footprint of responses lost on the wire.
+func (s *LogStore) DuplicateBatches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dups
 }
 
 // Len returns the number of stored records.
@@ -106,6 +139,10 @@ type Server struct {
 // loopback simulation.
 const simulatedAddrHeader = "X-Nomad-Simulated-Addr"
 
+// batchIDHeader carries the device's stable batch identifier, the key the
+// store dedups on when a retry replays a batch whose response was lost.
+const batchIDHeader = "X-Nomad-Batch-Id"
+
 // NewServer constructs the backend.
 func NewServer() *Server {
 	s := &Server{Store: &LogStore{}, mux: http.NewServeMux()}
@@ -155,7 +192,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.Store.Append(batch...)
+	// Applying a replayed batch twice would duplicate log entries, so the
+	// store dedups on the batch ID; a duplicate is still a success from
+	// the device's point of view (its data is safely stored).
+	s.Store.AppendBatch(r.Header.Get(batchIDHeader), batch)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -175,9 +215,9 @@ func NewClient(baseURL string) *Client {
 
 // PublicIP asks the server what public address this device appears from.
 // simulatedAddr, when non-empty, is the workload-assigned address the agent
-// is pretending to hold.
-func (c *Client) PublicIP(simulatedAddr string) (string, error) {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/ip", nil)
+// is pretending to hold. ctx bounds the request.
+func (c *Client) PublicIP(ctx context.Context, simulatedAddr string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/ip", nil)
 	if err != nil {
 		return "", err
 	}
@@ -204,13 +244,23 @@ func (c *Client) PublicIP(simulatedAddr string) (string, error) {
 	return b.String(), nil
 }
 
-// Upload posts a batch of entries.
-func (c *Client) Upload(batch []Entry) error {
+// Upload posts a sealed batch of entries. batchID, when non-empty, makes
+// the upload idempotent: a retry after a lost response replays the batch
+// and the server skips the duplicate. ctx bounds the request.
+func (c *Client) Upload(ctx context.Context, batchID string, batch []Entry) error {
 	body, err := json.Marshal(batch)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/upload", "application/json", strings.NewReader(string(body)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/upload", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if batchID != "" {
+		req.Header.Set(batchIDHeader, batchID)
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}

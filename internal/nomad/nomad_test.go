@@ -1,6 +1,7 @@
 package nomad
 
 import (
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
 	"locind/internal/mobility"
+	"locind/internal/reliable"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -38,7 +40,7 @@ func TestHashDeviceID(t *testing.T) {
 func TestIPEchoSimulated(t *testing.T) {
 	_, ts := newTestServer(t)
 	c := NewClient(ts.URL)
-	ip, err := c.PublicIP("22.33.44.55")
+	ip, err := c.PublicIP(context.Background(), "22.33.44.55")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestIPEchoSimulated(t *testing.T) {
 func TestIPEchoRemoteAddrFallback(t *testing.T) {
 	_, ts := newTestServer(t)
 	c := NewClient(ts.URL)
-	ip, err := c.PublicIP("")
+	ip, err := c.PublicIP(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestUploadValidation(t *testing.T) {
 	s, ts := newTestServer(t)
 	c := NewClient(ts.URL)
 	// Valid batch.
-	err := c.Upload([]Entry{{DeviceID: HashDeviceID("x"), Time: 1, IPAddr: "1.2.3.4", NetType: "wifi"}})
+	err := c.Upload(context.Background(), "", []Entry{{DeviceID: HashDeviceID("x"), Time: 1, IPAddr: "1.2.3.4", NetType: "wifi"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +74,11 @@ func TestUploadValidation(t *testing.T) {
 		t.Fatalf("store len = %d", s.Store.Len())
 	}
 	// Unhashed device ID rejected.
-	if err := c.Upload([]Entry{{DeviceID: "raw-name", IPAddr: "1.2.3.4"}}); err == nil {
+	if err := c.Upload(context.Background(), "", []Entry{{DeviceID: "raw-name", IPAddr: "1.2.3.4"}}); err == nil {
 		t.Fatal("unhashed device_id accepted")
 	}
 	// Missing fields rejected.
-	if err := c.Upload([]Entry{{DeviceID: HashDeviceID("x")}}); err == nil {
+	if err := c.Upload(context.Background(), "", []Entry{{DeviceID: HashDeviceID("x")}}); err == nil {
 		t.Fatal("missing ip_addr accepted")
 	}
 	if s.Store.Len() != 1 {
@@ -163,7 +165,7 @@ func TestAgentPipeline(t *testing.T) {
 	dt := smallTrace(t)
 	u := &dt.Users[0]
 	agent := NewAgent(NewClient(ts.URL), "device-0")
-	uploaded, err := agent.Replay(u)
+	uploaded, err := agent.Replay(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +200,7 @@ func TestAgentPipeline(t *testing.T) {
 func TestRunFleet(t *testing.T) {
 	s, ts := newTestServer(t)
 	dt := smallTrace(t)
-	total, err := RunFleet(ts.URL, dt, 4)
+	total, err := RunFleet(context.Background(), ts.URL, dt, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,17 +214,17 @@ func TestRunFleet(t *testing.T) {
 		t.Fatalf("devices in store = %d, want %d", got, len(dt.Users))
 	}
 	// parallel < 1 is clamped, not an error.
-	if _, err := RunFleet(ts.URL, &mobility.DeviceTrace{}, 0); err != nil {
+	if _, err := RunFleet(context.Background(), ts.URL, &mobility.DeviceTrace{}, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestClientErrors(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1") // nothing listens here
-	if _, err := c.PublicIP("1.2.3.4"); err == nil {
+	if _, err := c.PublicIP(context.Background(), "1.2.3.4"); err == nil {
 		t.Fatal("unreachable server should error")
 	}
-	if err := c.Upload([]Entry{{DeviceID: "dev-x", IPAddr: "1.2.3.4"}}); err == nil {
+	if err := c.Upload(context.Background(), "", []Entry{{DeviceID: "dev-x", IPAddr: "1.2.3.4"}}); err == nil {
 		t.Fatal("unreachable upload should error")
 	}
 }
@@ -246,8 +248,9 @@ func TestAgentUploadRetryAndStoreAndForward(t *testing.T) {
 	dt := smallTrace(t)
 	u := &dt.Users[0]
 	agent := NewAgent(NewClient(ts.URL), "device-0")
-	agent.UploadRetries = 5 // absorb all three transient failures in one dwell
-	uploaded, err := agent.Replay(u)
+	agent.UploadRetries = 5          // absorb all three transient failures in one dwell
+	agent.Backoff = reliable.Backoff{} // no waiting in tests
+	uploaded, err := agent.Replay(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +282,7 @@ func TestAgentUploadTotalOutage(t *testing.T) {
 	u := &dt.Users[1]
 	agent := NewAgent(NewClient(down.URL), "device-1")
 	agent.UploadRetries = 0
-	uploaded, err := agent.Replay(u)
+	uploaded, err := agent.Replay(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,14 +14,24 @@ import (
 // Controller is the central collection node: it accepts vantage-point
 // connections and merges their hourly observations into per-(name, hour)
 // union address sets, the paper's Addrs(d, t).
+//
+// Ingestion is transactional per connection: report frames are staged and
+// only folded into the union when the node's Bye commits the campaign. A
+// connection that dies before Bye — a vantage point crashing mid-campaign —
+// is discarded whole, so a partial campaign can never corrupt the union.
+// Commits are first-wins per node name: a node that replays its campaign
+// because the Bye ack was lost on the wire is recognised and skipped.
 type Controller struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	merged  map[names.Name]map[int]map[netaddr.Addr]bool
-	reports int
-	nodes   map[string]bool
-	errs    []error
+	mu         sync.Mutex
+	merged     map[names.Name]map[int]map[netaddr.Addr]bool
+	reports    int
+	nodes      map[string]bool
+	committed  map[string]bool
+	discarded  int
+	dupCommits int
+	errs       []error
 
 	wg sync.WaitGroup
 }
@@ -33,14 +43,21 @@ func StartController(addr string) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ServeController(ln), nil
+}
+
+// ServeController runs a controller over a caller-provided listener — the
+// seam chaos tests use to inject a fault-wrapped transport.
+func ServeController(ln net.Listener) *Controller {
 	c := &Controller{
-		ln:     ln,
-		merged: map[names.Name]map[int]map[netaddr.Addr]bool{},
-		nodes:  map[string]bool{},
+		ln:        ln,
+		merged:    map[names.Name]map[int]map[netaddr.Addr]bool{},
+		nodes:     map[string]bool{},
+		committed: map[string]bool{},
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
-	return c, nil
+	return c
 }
 
 // Addr returns the controller's listen address.
@@ -71,13 +88,14 @@ func (c *Controller) acceptLoop() {
 func (c *Controller) handle(conn net.Conn) {
 	defer conn.Close()
 	node := ""
+	var staged []Message
 	for {
 		m, err := ReadFrame(conn)
-		if errors.Is(err, io.EOF) {
-			return
-		}
 		if err != nil {
-			c.recordErr(err)
+			if !errors.Is(err, io.EOF) {
+				c.recordErr(err)
+			}
+			c.discard(staged)
 			return
 		}
 		switch m.Type {
@@ -87,27 +105,57 @@ func (c *Controller) handle(conn net.Conn) {
 			c.nodes[node] = true
 			c.mu.Unlock()
 		case TypeReport:
-			c.ingest(m)
+			staged = append(staged, m)
 		case TypeBye:
-			// Acknowledge so the node's Close blocks until everything it
-			// sent on this connection has been ingested; without this, a
-			// campaign could tear the controller down while connections
-			// are still queued in the accept backlog.
+			c.commit(node, staged)
+			// Acknowledge only after the commit: the ack is the node's
+			// proof that its whole campaign is in the union, so a node
+			// whose Close errored knows it must replay.
 			if err := WriteFrame(conn, Message{Type: TypeBye, Node: node}); err != nil {
 				c.recordErr(err)
 			}
 			return
 		default:
 			c.recordErr(errors.New("vantage: unknown frame type " + m.Type))
+			c.discard(staged)
 			return
 		}
 	}
 }
 
-func (c *Controller) ingest(m Message) {
-	name := names.Name(m.Name)
+// commit atomically folds one connection's staged campaign into the merged
+// union. First commit per node name wins: a replayed campaign whose earlier
+// Bye ack was lost is deduplicated, so retries can never double-count a
+// vantage point. Unparseable addresses are recorded as errors here, at
+// commit time, and skipped.
+func (c *Controller) commit(node string, staged []Message) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if node != "" {
+		if c.committed[node] {
+			c.dupCommits++
+			return
+		}
+		c.committed[node] = true
+	}
+	for _, m := range staged {
+		c.ingestLocked(m)
+	}
+}
+
+// discard drops a dead connection's staged reports. Called for any
+// connection that ends without a Bye.
+func (c *Controller) discard(staged []Message) {
+	if len(staged) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.discarded++
+}
+
+func (c *Controller) ingestLocked(m Message) {
+	name := names.Name(m.Name)
 	c.reports++
 	byHour := c.merged[name]
 	if byHour == nil {
@@ -142,7 +190,8 @@ func (c *Controller) Errs() []error {
 	return append([]error(nil), c.errs...)
 }
 
-// ReportCount returns how many report frames have been ingested.
+// ReportCount returns how many report frames have been committed into the
+// union. Staged reports from dead connections are never counted.
 func (c *Controller) ReportCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -154,6 +203,24 @@ func (c *Controller) NodeCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.nodes)
+}
+
+// Discarded returns how many connections died mid-campaign with staged
+// reports that were thrown away — the visible footprint of nodes dying
+// before their commit.
+func (c *Controller) Discarded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.discarded
+}
+
+// DuplicateCommits returns how many complete campaign replays were
+// deduplicated by the first-commit-wins rule — the footprint of Bye acks
+// lost on the wire.
+func (c *Controller) DuplicateCommits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dupCommits
 }
 
 // MergedSet returns the union address set observed for a name at an hour,

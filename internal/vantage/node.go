@@ -1,30 +1,45 @@
 package vantage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"locind/internal/cdn"
 	"locind/internal/names"
 	"locind/internal/netaddr"
+	"locind/internal/reliable"
 )
 
 // Node is one vantage point: a TCP client streaming hourly resolution
-// observations to the controller.
+// observations to the controller. Nothing a node sends becomes visible in
+// the merged union until its Bye commits the whole campaign, so a node that
+// dies mid-stream leaves no trace.
 type Node struct {
 	Name string
 	conn net.Conn
 }
 
 // Dial connects a vantage point to the controller and introduces itself.
-func Dial(addr, name string) (*Node, error) {
-	conn, err := net.Dial("tcp", addr)
+// ctx bounds the connection attempt and the hello frame.
+func Dial(ctx context.Context, addr, name string) (*Node, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("vantage: dial controller: %w", err)
 	}
 	n := &Node{Name: name, conn: conn}
+	if err := n.applyDeadline(ctx); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	if err := WriteFrame(conn, Message{Type: TypeHello, Node: name}); err != nil {
 		conn.Close()
 		return nil, err
@@ -32,8 +47,24 @@ func Dial(addr, name string) (*Node, error) {
 	return n, nil
 }
 
-// Report sends one (name, hour) observation.
-func (n *Node) Report(hour int, name names.Name, addrs []netaddr.Addr) error {
+// applyDeadline projects the context's deadline onto the connection so frame
+// I/O cannot outlive the caller's budget.
+func (n *Node) applyDeadline(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		return n.conn.SetDeadline(d)
+	}
+	return n.conn.SetDeadline(time.Time{})
+}
+
+// Report sends one (name, hour) observation. The controller stages it until
+// Close commits the campaign.
+func (n *Node) Report(ctx context.Context, hour int, name names.Name, addrs []netaddr.Addr) error {
+	if err := n.applyDeadline(ctx); err != nil {
+		return err
+	}
 	strs := make([]string, len(addrs))
 	for i, a := range addrs {
 		strs[i] = a.String()
@@ -47,11 +78,14 @@ func (n *Node) Report(hour int, name names.Name, addrs []netaddr.Addr) error {
 	})
 }
 
-// Close says goodbye, waits for the controller's acknowledgement (which
-// guarantees every frame sent on this connection has been ingested), and
-// closes the connection.
-func (n *Node) Close() error {
+// Close says goodbye, waits for the controller's acknowledgement — which is
+// the commit point: only now do this connection's reports enter the merged
+// union — and closes the connection.
+func (n *Node) Close(ctx context.Context) error {
 	defer n.conn.Close()
+	if err := n.applyDeadline(ctx); err != nil {
+		return err
+	}
 	if err := WriteFrame(n.conn, Message{Type: TypeBye, Node: n.Name}); err != nil {
 		return err
 	}
@@ -103,49 +137,127 @@ func PartialView(spread int) ViewFunc {
 	}
 }
 
-// Sweep runs a full measurement campaign: numNodes vantage points connect
-// to the controller and, for every hour of every timeline, resolve the name
-// through their partial view and report the result. Nodes run concurrently,
-// mirroring the real deployment; the hour loop inside each node is the
-// paper's once-per-hour resolution schedule ("precise time synchronization
-// is not necessary" — neither needed here).
-func Sweep(controllerAddr string, numNodes int, tls []cdn.Timeline, view ViewFunc) error {
-	if numNodes < 1 {
+// Campaign describes one distributed measurement run with its reliability
+// policy. Nodes run concurrently, mirroring the real deployment; each node
+// that fails mid-campaign is redialed and replays its whole campaign from
+// scratch — commit-on-Bye makes the replay invisible-until-complete, and the
+// controller's first-commit-wins rule makes a replay after a lost ack
+// harmless. A node that exhausts its retries is excluded from the merged
+// union without corrupting it.
+type Campaign struct {
+	Controller string
+	Nodes      int
+	View       ViewFunc // nil means PartialView(4)
+	// Retries is how many extra full redial-and-replay attempts a failed
+	// node gets before it is written off.
+	Retries int
+	// Backoff schedules pauses between a node's attempts.
+	Backoff reliable.Backoff
+	// Rand seeds per-node jitter; nil disables jitter. Seeds are drawn
+	// up front so concurrent nodes never share the generator.
+	Rand *rand.Rand
+	// Sleep overrides the inter-attempt wait (virtual clock hook).
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	attempts atomic.Int64
+}
+
+// Attempts returns the total campaign attempts made across all nodes — the
+// quantity chaos tests compare across same-seed runs.
+func (cp *Campaign) Attempts() int64 { return cp.attempts.Load() }
+
+// Run executes the campaign over the given timelines: every node resolves
+// every name once per simulated hour through its partial view and streams
+// the observations to the controller ("precise time synchronization is not
+// necessary" — neither needed here). It returns the joined errors of nodes
+// that exhausted their retries; their observations are absent from the
+// merged union, never partially present.
+func (cp *Campaign) Run(ctx context.Context, tls []cdn.Timeline) error {
+	if cp.Nodes < 1 {
 		return fmt.Errorf("vantage: need at least one node")
 	}
+	view := cp.View
 	if view == nil {
 		view = PartialView(4)
 	}
+	var seeds []int64
+	if cp.Rand != nil {
+		seeds = make([]int64, cp.Nodes)
+		for i := range seeds {
+			seeds[i] = cp.Rand.Int63()
+		}
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, numNodes)
-	for i := 0; i < numNodes; i++ {
+	errs := make([]error, cp.Nodes)
+	for i := 0; i < cp.Nodes; i++ {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			node, err := Dial(controllerAddr, fmt.Sprintf("pl%03d", idx))
-			if err != nil {
-				errs[idx] = err
-				return
+			var rng *rand.Rand
+			if seeds != nil {
+				rng = rand.New(rand.NewSource(seeds[idx]))
 			}
-			defer node.Close()
-			for t := range tls {
-				tl := &tls[t]
-				errs[idx] = replayHourly(tl, func(hour int, set []netaddr.Addr) error {
-					return node.Report(hour, tl.Site.Name, view(idx, tl.Site.Name, hour, set))
-				})
-				if errs[idx] != nil {
-					return
-				}
-			}
+			errs[idx] = cp.runNode(ctx, idx, rng, view, tls)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failed []error
+	for idx, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("vantage: node pl%03d excluded from union: %w", idx, err))
+		}
+	}
+	return errors.Join(failed...)
+}
+
+func (cp *Campaign) runNode(ctx context.Context, idx int, rng *rand.Rand, view ViewFunc, tls []cdn.Timeline) error {
+	policy := reliable.Policy{
+		MaxAttempts: cp.Retries + 1,
+		Backoff:     cp.Backoff,
+		Rand:        rng,
+		Sleep:       cp.Sleep,
+	}
+	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+		return cp.attempt(ctx, idx, view, tls)
+	})
+	cp.attempts.Add(int64(attempts))
+	return err
+}
+
+// attempt is one full campaign for one node. Any failure abandons the
+// connection without a Bye — to the controller that is exactly a node dying
+// mid-campaign, so everything staged on the connection is discarded and the
+// next attempt starts from a blank slate.
+func (cp *Campaign) attempt(ctx context.Context, idx int, view ViewFunc, tls []cdn.Timeline) error {
+	node, err := Dial(ctx, cp.Controller, fmt.Sprintf("pl%03d", idx))
+	if err != nil {
+		return err
+	}
+	defer node.conn.Close()
+	for t := range tls {
+		tl := &tls[t]
+		err := replayHourly(tl, func(hour int, set []netaddr.Addr) error {
+			return node.Report(ctx, hour, tl.Site.Name, view(idx, tl.Site.Name, hour, set))
+		})
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return node.Close(ctx)
+}
+
+// Sweep runs a full measurement campaign with default reliability settings:
+// numNodes vantage points, two redial-and-replay retries each, modest
+// backoff. Use a Campaign directly to tune the policy.
+func Sweep(ctx context.Context, controllerAddr string, numNodes int, tls []cdn.Timeline, view ViewFunc) error {
+	cp := &Campaign{
+		Controller: controllerAddr,
+		Nodes:      numNodes,
+		View:       view,
+		Retries:    2,
+		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+	}
+	return cp.Run(ctx, tls)
 }
 
 // replayHourly materializes the timeline's address set hour by hour without
@@ -171,6 +283,10 @@ func replayHourly(tl *cdn.Timeline, fn func(hour int, set []netaddr.Addr) error)
 		for a := range cur {
 			buf = append(buf, a)
 		}
+		// Sorted order keeps every node's behaviour — including
+		// PartialView's index-based fallback — independent of map
+		// iteration, which same-seed chaos replays rely on.
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 		if err := fn(h, buf); err != nil {
 			return err
 		}

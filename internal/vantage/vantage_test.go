@@ -2,6 +2,7 @@ package vantage
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"strings"
@@ -67,19 +68,19 @@ func TestControllerBasics(t *testing.T) {
 	}
 	defer c.Close()
 
-	n, err := Dial(c.Addr(), "pl000")
+	n, err := Dial(context.Background(), c.Addr(), "pl000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	a1 := netaddr.MustParseAddr("10.0.0.1")
 	a2 := netaddr.MustParseAddr("10.0.0.2")
-	if err := n.Report(3, "x.example.com", []netaddr.Addr{a1}); err != nil {
+	if err := n.Report(context.Background(), 3, "x.example.com", []netaddr.Addr{a1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Report(3, "x.example.com", []netaddr.Addr{a2, a1}); err != nil {
+	if err := n.Report(context.Background(), 3, "x.example.com", []netaddr.Addr{a2, a1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Close(); err != nil {
+	if err := n.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Wait for ingestion: close the controller to join handlers.
@@ -169,7 +170,7 @@ func TestSweepReconstructsGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Sweep(ctrl.Addr(), 10, tls, PartialView(4)); err != nil {
+	if err := Sweep(context.Background(), ctrl.Addr(), 10, tls, PartialView(4)); err != nil {
 		t.Fatal(err)
 	}
 	ctrl.Close()
@@ -202,7 +203,7 @@ func TestSweepReconstructsGroundTruth(t *testing.T) {
 }
 
 func TestSweepErrors(t *testing.T) {
-	if err := Sweep("127.0.0.1:1", 1, nil, nil); err == nil {
+	if err := Sweep(context.Background(), "127.0.0.1:1", 1, nil, nil); err == nil {
 		t.Fatal("unreachable controller should error")
 	}
 	ctrl, err := StartController("127.0.0.1:0")
@@ -210,7 +211,7 @@ func TestSweepErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ctrl.Close()
-	if err := Sweep(ctrl.Addr(), 0, nil, nil); err == nil {
+	if err := Sweep(context.Background(), ctrl.Addr(), 0, nil, nil); err == nil {
 		t.Fatal("zero nodes should error")
 	}
 }
@@ -220,7 +221,7 @@ func TestControllerRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := Dial(ctrl.Addr(), "pl000")
+	n, err := Dial(context.Background(), ctrl.Addr(), "pl000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,14 +241,14 @@ func TestControllerBadAddrInReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := Dial(ctrl.Addr(), "pl000")
+	n, err := Dial(context.Background(), ctrl.Addr(), "pl000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteFrame(n.conn, Message{Type: TypeReport, Name: "d", Hour: 0, Addrs: []string{"not-an-ip", "1.2.3.4"}}); err != nil {
 		t.Fatal(err)
 	}
-	n.Close()
+	n.Close(context.Background())
 	ctrl.Close()
 	if got := ctrl.MergedSet(names.Name("d"), 0); len(got) != 1 {
 		t.Fatalf("valid addr should survive: %v", got)
@@ -290,7 +291,7 @@ func TestMeasuredTimelinesMatchTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Sweep(ctrl.Addr(), 8, truth, PartialView(4)); err != nil {
+	if err := Sweep(context.Background(), ctrl.Addr(), 8, truth, PartialView(4)); err != nil {
 		t.Fatal(err)
 	}
 	ctrl.Close()
