@@ -9,6 +9,7 @@
 package locind_test
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -208,5 +209,86 @@ func BenchmarkSessionSweep(b *testing.B) {
 		if _, err := expt.RunSessionSweep(w, []int{4, 16, 36}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Sequential-vs-parallel pairs. Each driver's result is bit-identical at
+// every worker count (asserted by the determinism tests), so the pairs
+// measure exactly the engine's speedup: compare Sequential (1 worker)
+// against Parallel (GOMAXPROCS workers).
+
+// benchAt pins the shared world's parallelism knob for one benchmark.
+func benchAt(b *testing.B, parallel int, fn func(w *expt.World)) {
+	w := world(b)
+	old := w.Cfg.Parallel
+	w.Cfg.Parallel = parallel
+	b.Cleanup(func() { w.Cfg.Parallel = old })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(w)
+	}
+}
+
+func BenchmarkFig8Sequential(b *testing.B) {
+	benchAt(b, 1, func(w *expt.World) { expt.RunFig8(w) })
+}
+
+func BenchmarkFig8Parallel(b *testing.B) {
+	benchAt(b, 0, func(w *expt.World) { expt.RunFig8(w) })
+}
+
+func BenchmarkFig11bSequential(b *testing.B) {
+	benchAt(b, 1, func(w *expt.World) { expt.RunFig11bc(w, cdn.Popular) })
+}
+
+func BenchmarkFig11bParallel(b *testing.B) {
+	benchAt(b, 0, func(w *expt.World) { expt.RunFig11bc(w, cdn.Popular) })
+}
+
+func BenchmarkFig11cSequential(b *testing.B) {
+	benchAt(b, 1, func(w *expt.World) { expt.RunFig11bc(w, cdn.Unpopular) })
+}
+
+func BenchmarkFig11cParallel(b *testing.B) {
+	benchAt(b, 0, func(w *expt.World) { expt.RunFig11bc(w, cdn.Unpopular) })
+}
+
+func BenchmarkStrategyAblationSequential(b *testing.B) {
+	benchAt(b, 1, func(w *expt.World) { expt.RunStrategyAblation(w) })
+}
+
+func BenchmarkStrategyAblationParallel(b *testing.B) {
+	benchAt(b, 0, func(w *expt.World) { expt.RunStrategyAblation(w) })
+}
+
+func BenchmarkSensitivitySequential(b *testing.B) {
+	benchAt(b, 1, func(w *expt.World) {
+		if _, err := expt.RunSensitivity(w); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkSensitivityParallel(b *testing.B) {
+	benchAt(b, 0, func(w *expt.World) {
+		if _, err := expt.RunSensitivity(w); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkTimelinesSequential(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Deployment.TimelinesParallel(24*7, rand.New(rand.NewSource(int64(i))), 1)
+	}
+}
+
+func BenchmarkTimelinesParallel(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Deployment.TimelinesParallel(24*7, rand.New(rand.NewSource(int64(i))), 0)
 	}
 }

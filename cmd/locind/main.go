@@ -12,8 +12,10 @@
 //
 // Flags:
 //
-//	-seed N    master seed (default 20140817)
-//	-quick     run at ~1/10 scale (fast; used by CI)
+//	-seed N      master seed (default 20140817)
+//	-quick       run at ~1/10 scale (fast; used by CI)
+//	-parallel N  evaluation worker count (0 = GOMAXPROCS); any value
+//	             produces bit-identical output
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "master seed (0 = config default)")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	out := flag.String("out", "", "directory to export raw data (trace CSV, RIB dumps, figure series)")
+	parallel := flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS); output is identical for any value")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -37,14 +40,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(args, *seed, *quick, *out); err != nil {
+	if err := run(args, *seed, *quick, *out, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "locind:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] [-parallel N] <experiment>...
 
 experiments:
   table1       §5 analytic model: stretch vs update cost on toy topologies
@@ -71,7 +74,7 @@ var deviceExperiments = map[string]bool{
 	"sensitivity": true, "envelope": true, "ablate": true,
 }
 
-func run(args []string, seed int64, quick bool, out string) error {
+func run(args []string, seed int64, quick bool, out string, parallel int) error {
 	want := map[string]bool{}
 	for _, a := range args {
 		a = strings.ToLower(a)
@@ -96,6 +99,7 @@ func run(args []string, seed int64, quick bool, out string) error {
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallel = parallel
 
 	if want["table1"] {
 		n := 255

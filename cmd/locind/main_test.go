@@ -1,26 +1,27 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"fig99"}, 0, true, ""); err == nil {
+	if err := run([]string{"fig99"}, 0, true, "", 0); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestRunTable1Only(t *testing.T) {
 	// table1 needs no world; must complete quickly.
-	if err := run([]string{"table1"}, 7, true, ""); err != nil {
+	if err := run([]string{"table1"}, 7, true, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNetsimOnly(t *testing.T) {
-	if err := run([]string{"netsim"}, 7, true, ""); err != nil {
+	if err := run([]string{"netsim"}, 7, true, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,10 +31,53 @@ func TestRunWorldExperimentsAndExport(t *testing.T) {
 		t.Skip("world build is slow")
 	}
 	dir := t.TempDir()
-	if err := run([]string{"fig8", "fig12"}, 7, true, dir); err != nil {
+	if err := run([]string{"fig8", "fig12"}, 7, true, dir, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
 		t.Fatalf("export missing: %v", err)
+	}
+}
+
+// captureRun runs the experiments with stdout redirected and returns the
+// rendered output.
+func captureRun(t *testing.T, args []string, parallel int) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	runErr := run(args, 7, true, "", parallel)
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(out)
+}
+
+// The acceptance bar of the parallel engine: output at a fixed seed must be
+// byte-identical between -parallel 1 and -parallel N.
+func TestRunParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world build is slow")
+	}
+	args := []string{"fig8", "fig11b", "ablate"}
+	seq := captureRun(t, args, 1)
+	par := captureRun(t, args, 8)
+	if seq != par {
+		t.Fatalf("output diverged between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Fatal("no output captured")
 	}
 }

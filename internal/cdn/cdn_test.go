@@ -2,6 +2,7 @@ package cdn
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"locind/internal/asgraph"
@@ -214,6 +215,23 @@ func TestTimelinesDeterministic(t *testing.T) {
 		if a[i].EventCount() != b[i].EventCount() {
 			t.Fatalf("timeline %d diverged", i)
 		}
+	}
+}
+
+// The per-site RNG derivation must make the parallel sweep bit-identical to
+// the sequential one at every worker count.
+func TestTimelinesParallelMatchesSequential(t *testing.T) {
+	d := genDeployment(t, 7)
+	seq := d.TimelinesParallel(48, rand.New(rand.NewSource(9)), 1)
+	for _, workers := range []int{4, 0} {
+		got := d.TimelinesParallel(48, rand.New(rand.NewSource(9)), workers)
+		if !reflect.DeepEqual(seq, got) {
+			t.Fatalf("parallel=%d sweep diverged from sequential", workers)
+		}
+	}
+	// And Timelines itself is the sequential case.
+	if !reflect.DeepEqual(seq, d.Timelines(48, rand.New(rand.NewSource(9)))) {
+		t.Fatal("Timelines diverged from TimelinesParallel(…, 1)")
 	}
 }
 

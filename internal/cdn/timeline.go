@@ -7,6 +7,7 @@ import (
 
 	"locind/internal/names"
 	"locind/internal/netaddr"
+	"locind/internal/par"
 )
 
 // Event is one content mobility event: at the given hour, the address set
@@ -112,10 +113,23 @@ type siteState struct {
 // Timelines simulates the deployment for the given number of hours and
 // returns one timeline per site. The simulation is deterministic in rng.
 func (d *Deployment) Timelines(hours int, rng *rand.Rand) []Timeline {
-	out := make([]Timeline, 0, len(d.Sites))
-	for _, site := range d.Sites {
-		out = append(out, d.simulateSite(site, hours, rng))
+	return d.TimelinesParallel(hours, rng, 1)
+}
+
+// TimelinesParallel is Timelines fanned out across parallel workers (0 =
+// GOMAXPROCS). One child seed per site is drawn from rng up front, in site
+// order, and each site is then simulated with its own rand.Rand built from
+// that seed — so the trace is a pure function of rng's starting state and
+// bit-identical at every parallelism degree, including 1.
+func (d *Deployment) TimelinesParallel(hours int, rng *rand.Rand, parallel int) []Timeline {
+	seeds := make([]int64, len(d.Sites))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
 	}
+	out := make([]Timeline, len(d.Sites))
+	par.ForEach(parallel, len(d.Sites), func(i int) {
+		out[i] = d.simulateSite(d.Sites[i], hours, rand.New(rand.NewSource(seeds[i])))
+	})
 	return out
 }
 

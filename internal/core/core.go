@@ -224,6 +224,81 @@ func ContentUpdateStatsAll(r RouteLookup, tls []cdn.Timeline, st Strategy) Updat
 	return s
 }
 
+// StrategyStats bundles the per-strategy totals of one fused replay.
+type StrategyStats struct {
+	BestPort UpdateStats
+	Flooding UpdateStats
+	Union    UpdateStats
+}
+
+// Add merges another replay's totals into s.
+func (s *StrategyStats) Add(o StrategyStats) {
+	s.BestPort.Add(o.BestPort)
+	s.Flooding.Add(o.Flooding)
+	s.Union.Add(o.Union)
+}
+
+// ContentUpdateStatsFused replays a timeline once and evaluates all three
+// §3.3.1 strategies in that single Timeline.Walk. Each event's after-set is
+// resolved exactly once and carried into the next event as its before-set,
+// so a timeline of n events costs n+1 set resolutions instead of the ~6n a
+// strategy-at-a-time replay pays. The counts are identical to running
+// ContentUpdateStats once per strategy.
+func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
+	var out StrategyStats
+	union := map[int]bool{}
+	primed := false
+	var prevKey string
+	var prevBest int
+	var prevBestOK bool
+	tl.Walk(func(_ cdn.Event, before, after []netaddr.Addr) {
+		if !primed {
+			ports := PortSet(r, before)
+			prevKey = portSetKey(ports)
+			prevBest, prevBestOK = BestPortOf(r, before)
+			for _, p := range ports {
+				union[p] = true
+			}
+			primed = true
+		}
+		ports := PortSet(r, after)
+		key := portSetKey(ports)
+		best, bestOK := BestPortOf(r, after)
+
+		out.BestPort.Events++
+		if prevBestOK && bestOK && prevBest != best {
+			out.BestPort.Updates++
+		}
+		out.Flooding.Events++
+		if key != prevKey {
+			out.Flooding.Updates++
+		}
+		out.Union.Events++
+		grew := false
+		for _, p := range ports {
+			if !union[p] {
+				union[p] = true
+				grew = true
+			}
+		}
+		if grew {
+			out.Union.Updates++
+		}
+		prevKey, prevBest, prevBestOK = key, best, bestOK
+	})
+	return out
+}
+
+// ContentUpdateStatsAllFused pools ContentUpdateStatsFused over many
+// timelines (union state is per timeline, as in ContentUpdateStatsAll).
+func ContentUpdateStatsAllFused(r RouteLookup, tls []cdn.Timeline) StrategyStats {
+	var s StrategyStats
+	for i := range tls {
+		s.Add(ContentUpdateStatsFused(r, &tls[i]))
+	}
+	return s
+}
+
 // BestPortTable builds the complete name-forwarding table of §3.3.2 under
 // best-port forwarding: every name mapped to its single best output port.
 // Names whose addresses have no route are omitted.

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+
+	"locind/internal/bgp"
+	"locind/internal/netaddr"
+)
+
+// Memo wraps a RouteLookup with a per-router addr → route cache. The
+// evaluation replays the same address sets against the same FIB millions of
+// times (every timeline event re-resolves its before/after sets), and the
+// underlying LPM lookup is pure, so the first resolution of each address can
+// serve all later ones — the same move as the Loc/ID mapping caches the
+// literature analyzes for resolution-based architectures.
+//
+// Memo is safe for concurrent use; parallel workers sharing one router
+// simply share its cache. A racing pair of first lookups both consult the
+// underlying table and store the same value, so results never depend on
+// scheduling.
+type Memo struct {
+	r     RouteLookup
+	cache sync.Map // netaddr.Addr → memoEntry
+}
+
+type memoEntry struct {
+	rt bgp.Route
+	ok bool
+}
+
+// NewMemo wraps r in a fresh cache.
+func NewMemo(r RouteLookup) *Memo { return &Memo{r: r} }
+
+// Port returns the memoized output port (next-hop AS) for a.
+func (m *Memo) Port(a netaddr.Addr) (int, bool) {
+	rt, ok := m.RouteFor(a)
+	if !ok {
+		return -1, false
+	}
+	return rt.NextHop, true
+}
+
+// RouteFor returns the memoized selected route for a.
+func (m *Memo) RouteFor(a netaddr.Addr) (bgp.Route, bool) {
+	if e, hit := m.cache.Load(a); hit {
+		ent := e.(memoEntry)
+		return ent.rt, ent.ok
+	}
+	rt, ok := m.r.RouteFor(a)
+	m.cache.Store(a, memoEntry{rt: rt, ok: ok})
+	return rt, ok
+}

@@ -9,6 +9,7 @@ import (
 	"locind/internal/bgp"
 	"locind/internal/cdn"
 	"locind/internal/core"
+	"locind/internal/par"
 	"locind/internal/stats"
 )
 
@@ -58,24 +59,45 @@ type Fig11bcResult struct {
 	Flooding []RouterRate
 }
 
-// RunFig11bc computes Figure 11(b) or 11(c) depending on class.
+// RunFig11bc computes Figure 11(b) or 11(c) depending on class. The work
+// fans out over (collector × timeline-shard) pairs: every collector shares
+// one route Memo across its shards and replays each shard's timelines in a
+// single fused walk that evaluates both strategies at once. Per-shard
+// partial counts are integer totals summed in shard order, so the figure is
+// bit-identical at every parallelism degree.
 func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 	popular, unpopular := w.TimelinesByClass()
 	tls := popular
 	if class == cdn.Unpopular {
 		tls = unpopular
 	}
+	cols := w.RouteViews
+	shards := par.Shards(len(tls), par.Workers(w.Cfg.Parallel))
+	memos := make([]*core.Memo, len(cols))
+	for i, c := range cols {
+		memos[i] = core.NewMemo(c.FIB)
+	}
+	partial := make([]core.StrategyStats, len(cols)*len(shards))
+	par.ForEach(w.Cfg.Parallel, len(partial), func(t int) {
+		ci, si := t/len(shards), t%len(shards)
+		sh := shards[si]
+		partial[t] = core.ContentUpdateStatsAllFused(memos[ci], tls[sh[0]:sh[1]])
+	})
 	res := Fig11bcResult{Class: class}
-	for _, c := range w.RouteViews {
-		bp := core.ContentUpdateStatsAll(c.FIB, tls, core.BestPort)
-		fl := core.ContentUpdateStatsAll(c.FIB, tls, core.ControlledFlooding)
-		res.Events = bp.Events
-		res.BestPort = append(res.BestPort, RouterRate{
-			Name: c.Name, Rate: bp.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
-		})
-		res.Flooding = append(res.Flooding, RouterRate{
-			Name: c.Name, Rate: fl.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
-		})
+	res.BestPort = make([]RouterRate, len(cols))
+	res.Flooding = make([]RouterRate, len(cols))
+	for ci, c := range cols {
+		var tot core.StrategyStats
+		for si := 0; si < len(shards); si++ {
+			tot.Add(partial[ci*len(shards)+si])
+		}
+		res.Events = tot.BestPort.Events
+		res.BestPort[ci] = RouterRate{
+			Name: c.Name, Rate: tot.BestPort.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
+		}
+		res.Flooding[ci] = RouterRate{
+			Name: c.Name, Rate: tot.Flooding.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
+		}
 	}
 	return res
 }
@@ -186,29 +208,33 @@ type AblationResult struct {
 }
 
 // RunStrategyAblation evaluates all three strategies at the most-impacted
-// RouteViews collector.
+// RouteViews collector (highest controlled-flooding rate, first on ties).
+// One fused walk per collector yields all three strategy totals at once, so
+// finding the argmax no longer triggers repeated BestPort/UnionFlooding
+// replays every time a new flooding maximum appears.
 func RunStrategyAblation(w *World) AblationResult {
 	popular, _ := w.TimelinesByClass()
-	// Pick the collector with the highest flooding rate for contrast.
-	var best *AblationResult
-	for _, c := range w.RouteViews {
-		fl := core.ContentUpdateStatsAll(c.FIB, popular, core.ControlledFlooding)
-		if best == nil || fl.Rate() > best.Flooding {
-			bp := core.ContentUpdateStatsAll(c.FIB, popular, core.BestPort)
-			un := core.ContentUpdateStatsAll(c.FIB, popular, core.UnionFlooding)
-			best = &AblationResult{
-				Collector: c.Name,
-				Events:    fl.Events,
-				BestPort:  bp.Rate(),
-				Flooding:  fl.Rate(),
-				Union:     un.Rate(),
-			}
+	cols := w.RouteViews
+	sets := par.Map(w.Cfg.Parallel, len(cols), func(i int) core.StrategyStats {
+		return core.ContentUpdateStatsAllFused(core.NewMemo(cols[i].FIB), popular)
+	})
+	best := -1
+	for i := range sets {
+		if best < 0 || sets[i].Flooding.Rate() > sets[best].Flooding.Rate() {
+			best = i
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return AblationResult{}
 	}
-	return *best
+	s := sets[best]
+	return AblationResult{
+		Collector: cols[best].Name,
+		Events:    s.Flooding.Events,
+		BestPort:  s.BestPort.Rate(),
+		Flooding:  s.Flooding.Rate(),
+		Union:     s.Union.Rate(),
+	}
 }
 
 // Render prints the ablation readout.
@@ -232,20 +258,31 @@ type SessionSweepResult struct {
 }
 
 // RunSessionSweep rebuilds one synthetic collector at increasing session
-// counts and measures its device update rate.
+// counts and measures its device update rate. Each count derives its own RNG
+// from the master seed, so the sweep points are independent and evaluated in
+// parallel without perturbing each other.
 func RunSessionSweep(w *World, counts []int) (SessionSweepResult, error) {
 	events := w.Devices.MoveEvents()
-	var res SessionSweepResult
-	for i, n := range counts {
-		col, err := buildSweepCollector(w, n, int64(i))
+	type point struct {
+		rate float64
+		err  error
+	}
+	pts := par.Map(w.Cfg.Parallel, len(counts), func(i int) point {
+		col, err := buildSweepCollector(w, counts[i], int64(i))
 		if err != nil {
-			return res, err
+			return point{err: err}
 		}
-		rate := core.DeviceUpdateStats(col.FIB, events).Rate()
+		return point{rate: core.DeviceUpdateStats(core.NewMemo(col.FIB), events).Rate()}
+	})
+	var res SessionSweepResult
+	for i, p := range pts {
+		if p.err != nil {
+			return res, p.err
+		}
 		res.Points = append(res.Points, struct {
 			Sessions int
 			Rate     float64
-		}{n, rate})
+		}{counts[i], p.rate})
 	}
 	return res, nil
 }

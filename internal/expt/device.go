@@ -10,6 +10,7 @@ import (
 	"locind/internal/core"
 	"locind/internal/iplane"
 	"locind/internal/mobility"
+	"locind/internal/par"
 	"locind/internal/stats"
 )
 
@@ -42,7 +43,7 @@ func RunFig6(w *World) Fig6Result {
 		Prefixes:   stats.Summarize(prefixes),
 		ASes:       stats.Summarize(ases),
 		TailOver10: 1 - c.At(10),
-		IPCDF:      stats.NewCDF(ips).Points(40),
+		IPCDF:      c.Points(40),
 		PrefixCDF:  stats.NewCDF(prefixes).Points(40),
 		ASCDF:      stats.NewCDF(ases).Points(40),
 	}
@@ -117,19 +118,22 @@ type Fig8Result struct {
 	Events  int
 }
 
-// RunFig8 computes Figure 8 over the RouteViews collectors.
+// RunFig8 computes Figure 8 over the RouteViews collectors, one memoized
+// collector per worker; results land in collector order regardless of
+// scheduling.
 func RunFig8(w *World) Fig8Result {
 	events := w.Devices.MoveEvents()
 	res := Fig8Result{Events: len(events)}
-	for _, c := range w.RouteViews {
-		s := core.DeviceUpdateStats(c.FIB, events)
-		res.Routers = append(res.Routers, RouterRate{
+	res.Routers = par.Map(w.Cfg.Parallel, len(w.RouteViews), func(i int) RouterRate {
+		c := w.RouteViews[i]
+		s := core.DeviceUpdateStats(core.NewMemo(c.FIB), events)
+		return RouterRate{
 			Name:          c.Name,
 			Rate:          s.Rate(),
 			NextHopDegree: c.FIB.NextHopDegree(),
 			Sessions:      len(c.Sessions),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -184,7 +188,11 @@ type SensitivityResult struct {
 	Correlation float64 // across all 25 collectors, NomadLog vs IMAP rates
 }
 
-// RunSensitivity computes the §6.2.2 sensitivity analysis.
+// RunSensitivity computes the §6.2.2 sensitivity analysis. Each stage fans
+// out over its collector set; per-collector rates are assembled in collector
+// order so the readout is identical at every parallelism degree. A degenerate
+// workload (zero-variance or mismatched rate vectors) is reported as an
+// error, never rendered as a fake "correlation 0.00".
 func RunSensitivity(w *World) (SensitivityResult, error) {
 	res := SensitivityResult{PerDayStdDev: map[string]float64{}}
 	events := w.Devices.MoveEvents()
@@ -199,23 +207,25 @@ func RunSensitivity(w *World) (SensitivityResult, error) {
 		days = append(days, d)
 	}
 	sort.Ints(days)
-	for _, c := range w.RouteViews {
+	stdDevs := par.Map(w.Cfg.Parallel, len(w.RouteViews), func(i int) float64 {
+		memo := core.NewMemo(w.RouteViews[i].FIB)
 		var rates []float64
 		for _, d := range days {
-			rates = append(rates, core.DeviceUpdateStats(c.FIB, byDay[d]).Rate())
+			rates = append(rates, core.DeviceUpdateStats(memo, byDay[d]).Rate())
 		}
-		sd := stats.StdDev(rates)
-		res.PerDayStdDev[c.Name] = sd
+		return stats.StdDev(rates)
+	})
+	for i, sd := range stdDevs {
+		res.PerDayStdDev[w.RouteViews[i].Name] = sd
 		if sd > res.MaxStdDev {
 			res.MaxStdDev = sd
 		}
 	}
 
 	// (2) The RIPE collector set.
-	var ripeRates []float64
-	for _, c := range w.RIPE {
-		ripeRates = append(ripeRates, core.DeviceUpdateStats(c.FIB, events).Rate())
-	}
+	ripeRates := par.Map(w.Cfg.Parallel, len(w.RIPE), func(i int) float64 {
+		return core.DeviceUpdateStats(core.NewMemo(w.RIPE[i].FIB), events).Rate()
+	})
 	ripeCDF := stats.NewCDF(ripeRates)
 	res.RIPEMedian = ripeCDF.Median()
 	res.RIPEMax = ripeCDF.Max()
@@ -233,15 +243,26 @@ func RunSensitivity(w *World) (SensitivityResult, error) {
 	imapEvents := mobility.IMAPMoveEvents(imapTrace, 2.0, rand.New(rand.NewSource(w.Cfg.Seed+7)))
 	res.IMAPEvents = len(imapEvents)
 
-	var nomadRates, imapRates []float64
 	all := append(append([]*bgp.Collector{}, w.RouteViews...), w.RIPE...)
-	for _, c := range all {
-		nomadRates = append(nomadRates, core.DeviceUpdateStats(c.FIB, events).Rate())
-		imapRates = append(imapRates, core.DeviceUpdateStats(c.FIB, imapEvents).Rate())
+	type ratePair struct{ nomad, imap float64 }
+	pairs := par.Map(w.Cfg.Parallel, len(all), func(i int) ratePair {
+		memo := core.NewMemo(all[i].FIB)
+		return ratePair{
+			nomad: core.DeviceUpdateStats(memo, events).Rate(),
+			imap:  core.DeviceUpdateStats(memo, imapEvents).Rate(),
+		}
+	})
+	nomadRates := make([]float64, len(pairs))
+	imapRates := make([]float64, len(pairs))
+	for i, p := range pairs {
+		nomadRates[i] = p.nomad
+		imapRates[i] = p.imap
 	}
-	if corr, err := stats.Pearson(nomadRates, imapRates); err == nil {
-		res.Correlation = corr
+	corr, err := stats.Pearson(nomadRates, imapRates)
+	if err != nil {
+		return res, fmt.Errorf("expt: NomadLog/IMAP rate correlation: %w", err)
 	}
+	res.Correlation = corr
 	return res, nil
 }
 

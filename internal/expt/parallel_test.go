@@ -1,0 +1,154 @@
+package expt
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"locind/internal/cdn"
+	"locind/internal/core"
+	"locind/internal/mobility"
+)
+
+// withParallel runs fn with the shared world pinned at the given worker
+// count and restores the previous knob afterwards.
+func withParallel(t *testing.T, w *World, parallel int, fn func()) {
+	t.Helper()
+	old := w.Cfg.Parallel
+	w.Cfg.Parallel = parallel
+	defer func() { w.Cfg.Parallel = old }()
+	fn()
+}
+
+// Every parallel driver must produce results identical to its sequential
+// run — the engine's core guarantee.
+func TestParallelDriversMatchSequential(t *testing.T) {
+	w := quickWorld(t)
+	type bundle struct {
+		fig8  Fig8Result
+		f11b  Fig11bcResult
+		f11c  Fig11bcResult
+		abl   AblationResult
+		sweep SessionSweepResult
+		sens  SensitivityResult
+	}
+	collect := func(parallel int) bundle {
+		var out bundle
+		withParallel(t, w, parallel, func() {
+			out.fig8 = RunFig8(w)
+			out.f11b = RunFig11bc(w, cdn.Popular)
+			out.f11c = RunFig11bc(w, cdn.Unpopular)
+			out.abl = RunStrategyAblation(w)
+			sweep, err := RunSessionSweep(w, []int{2, 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.sweep = sweep
+			sens, err := RunSensitivity(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.sens = sens
+		})
+		return out
+	}
+	seq := collect(1)
+	for _, n := range []int{4, 0} {
+		par := collect(n)
+		if !reflect.DeepEqual(seq.fig8, par.fig8) {
+			t.Errorf("parallel=%d: fig8 diverged from sequential", n)
+		}
+		if !reflect.DeepEqual(seq.f11b, par.f11b) {
+			t.Errorf("parallel=%d: fig11b diverged from sequential", n)
+		}
+		if !reflect.DeepEqual(seq.f11c, par.f11c) {
+			t.Errorf("parallel=%d: fig11c diverged from sequential", n)
+		}
+		if seq.abl != par.abl {
+			t.Errorf("parallel=%d: ablation diverged: %+v vs %+v", n, seq.abl, par.abl)
+		}
+		if !reflect.DeepEqual(seq.sweep, par.sweep) {
+			t.Errorf("parallel=%d: session sweep diverged", n)
+		}
+		if !reflect.DeepEqual(seq.sens, par.sens) {
+			t.Errorf("parallel=%d: sensitivity diverged", n)
+		}
+	}
+}
+
+// The memoized fan-out must match a direct unmemoized strategy-at-a-time
+// evaluation of the same figure — the "Memo changes nothing" guarantee at
+// the figure level, not just per lookup.
+func TestFig11bcMatchesUnmemoizedReference(t *testing.T) {
+	w := quickWorld(t)
+	got := RunFig11bc(w, cdn.Unpopular)
+	_, unpopular := w.TimelinesByClass()
+	if len(got.BestPort) != len(w.RouteViews) {
+		t.Fatalf("rates for %d of %d collectors", len(got.BestPort), len(w.RouteViews))
+	}
+	for i, c := range w.RouteViews {
+		bp := core.ContentUpdateStatsAll(c.FIB, unpopular, core.BestPort).Rate()
+		fl := core.ContentUpdateStatsAll(c.FIB, unpopular, core.ControlledFlooding).Rate()
+		if got.BestPort[i].Rate != bp {
+			t.Errorf("%s: best-port %v != reference %v", c.Name, got.BestPort[i].Rate, bp)
+		}
+		if got.Flooding[i].Rate != fl {
+			t.Errorf("%s: flooding %v != reference %v", c.Name, got.Flooding[i].Rate, fl)
+		}
+	}
+}
+
+// TestTimelinesConcurrentOnce races many callers at the lazy sweep and
+// checks exactly one generation happened (run under -race in CI).
+func TestTimelinesConcurrentOnce(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Device.Users = 20
+	cfg.Device.Days = 2
+	cfg.CDN.PopularDomains = 15
+	cfg.CDN.UnpopularDomains = 15
+	cfg.ContentDays = 2
+	w, err := BuildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	got := make([]*cdn.Timeline, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tls := w.Timelines()
+			got[g] = &tls[0]
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if got[g] != got[0] {
+			t.Fatal("concurrent Timelines() returned distinct generations")
+		}
+	}
+}
+
+// A degenerate workload must surface stats.Pearson's error from
+// RunSensitivity instead of silently rendering "correlation 0.00".
+func TestSensitivityPearsonErrorPropagates(t *testing.T) {
+	w := quickWorld(t)
+	degenerate := &World{
+		Cfg:        w.Cfg,
+		Graph:      w.Graph,
+		Prefixes:   w.Prefixes,
+		RouteViews: w.RouteViews,
+		RIPE:       w.RIPE,
+		Devices:    &mobility.DeviceTrace{}, // no users → all NomadLog rates 0
+		Deployment: w.Deployment,
+	}
+	_, err := RunSensitivity(degenerate)
+	if err == nil {
+		t.Fatal("zero-variance NomadLog rates must error, not read as correlation 0.00")
+	}
+	if !strings.Contains(err.Error(), "correlation") {
+		t.Fatalf("error does not identify the correlation stage: %v", err)
+	}
+}

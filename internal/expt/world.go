@@ -9,6 +9,7 @@ package expt
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
@@ -20,6 +21,12 @@ import (
 // RNG streams from Seed makes any experiment reproducible bit for bit.
 type Config struct {
 	Seed int64
+
+	// Parallel bounds the worker count of the parallel evaluation drivers
+	// and of timeline generation: N workers when positive, GOMAXPROCS when
+	// zero or negative. Every value — including 1 — produces bit-identical
+	// results; the knob only trades wall-clock time.
+	Parallel int
 
 	AS            asgraph.SynthConfig
 	Device        mobility.DeviceConfig
@@ -86,7 +93,8 @@ type World struct {
 	Devices    *mobility.DeviceTrace
 	Deployment *cdn.Deployment
 
-	timelines []cdn.Timeline
+	timelinesOnce sync.Once
+	timelines     []cdn.Timeline
 }
 
 // BuildWorld synthesizes a World from cfg.
@@ -132,12 +140,13 @@ func BuildWorld(cfg Config) (*World, error) {
 }
 
 // Timelines generates (once) and returns the content timelines for the
-// configured measurement window.
+// configured measurement window. It is safe to call from concurrent
+// drivers: the sync.Once guarantees the sweep is generated exactly once.
 func (w *World) Timelines() []cdn.Timeline {
-	if w.timelines == nil {
+	w.timelinesOnce.Do(func() {
 		rng := rand.New(rand.NewSource(w.Cfg.Seed + 5))
-		w.timelines = w.Deployment.Timelines(24*w.Cfg.ContentDays, rng)
-	}
+		w.timelines = w.Deployment.TimelinesParallel(24*w.Cfg.ContentDays, rng, w.Cfg.Parallel)
+	})
 	return w.timelines
 }
 

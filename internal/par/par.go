@@ -1,0 +1,91 @@
+// Package par is the small worker-pool scheduler behind the parallel
+// evaluation drivers: it fans index-addressed work out across a bounded
+// number of goroutines. Determinism is preserved by construction — workers
+// claim indices from an atomic counter but callers write each result into
+// the work item's own slot of a preallocated slice, so the collected output
+// is identical at every parallelism degree, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: n itself when positive, GOMAXPROCS
+// otherwise. Every knob in the repo (expt.Config.Parallel, locind's
+// -parallel flag) goes through this so 0 uniformly means "all cores".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach calls fn(i) exactly once for every i in [0, n), fanning the calls
+// out across min(Workers(workers), n) goroutines, and returns when all have
+// finished. fn must be safe for concurrent invocation with distinct i; with
+// workers == 1 everything runs on the calling goroutine in index order.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) with ForEach and returns the results in index
+// order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Shards splits [0, n) into at most k contiguous near-equal [lo, hi) ranges
+// covering every index exactly once, for workloads that are cheaper to claim
+// in batches than one item at a time.
+func Shards(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	for s := 0; s < k; s++ {
+		lo := s * n / k
+		hi := (s + 1) * n / k
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

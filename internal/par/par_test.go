@@ -1,0 +1,73 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16, 0} {
+		const n = 137
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn must not run for empty ranges")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(8, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestShards(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{10, 3}, {3, 10}, {1, 1}, {7, 7}, {100, 16}, {5, 0},
+	} {
+		sh := Shards(tc.n, tc.k)
+		covered := 0
+		prev := 0
+		for _, s := range sh {
+			if s[0] != prev || s[1] <= s[0] {
+				t.Fatalf("Shards(%d,%d) = %v: bad range %v", tc.n, tc.k, sh, s)
+			}
+			covered += s[1] - s[0]
+			prev = s[1]
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("Shards(%d,%d) = %v covers %d", tc.n, tc.k, sh, covered)
+		}
+	}
+	if Shards(0, 4) != nil {
+		t.Fatal("empty range must shard to nil")
+	}
+}

@@ -27,7 +27,7 @@ func Mean(xs []float64) float64 {
 }
 
 // Variance returns the population variance of xs (dividing by n, not n-1),
-// or 0 for fewer than one sample.
+// or 0 for an empty slice.
 func Variance(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -190,10 +190,14 @@ func (c *CDF) Table(label string, quantiles []float64) string {
 
 // Histogram counts samples into w-wide bins starting at lo. Samples below lo
 // fall into bin 0; samples at or above lo+w*len(counts) fall into the last
-// bin.
+// bin. A non-positive bin count yields an empty histogram; a non-positive
+// width yields zeroed counts.
 func Histogram(xs []float64, lo, w float64, bins int) []int {
+	if bins <= 0 {
+		return nil
+	}
 	counts := make([]int, bins)
-	if bins == 0 || w <= 0 {
+	if w <= 0 {
 		return counts
 	}
 	for _, x := range xs {

@@ -181,6 +181,20 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramDegenerateBins(t *testing.T) {
+	// Zero and negative bin counts must yield an empty histogram, not panic.
+	if got := Histogram([]float64{1, 2}, 0, 1, 0); len(got) != 0 {
+		t.Errorf("bins=0: got %v", got)
+	}
+	if got := Histogram([]float64{1, 2}, 0, 1, -4); len(got) != 0 {
+		t.Errorf("bins=-4: got %v", got)
+	}
+	// Negative width with real bins still returns zeroed counts.
+	if got := Histogram([]float64{1, 2}, 0, -1, 3); len(got) != 3 || got[0] != 0 {
+		t.Errorf("negative width: got %v", got)
+	}
+}
+
 func TestBar(t *testing.T) {
 	if b := Bar(5, 10, 10); b != "#####....." {
 		t.Errorf("Bar = %q", b)

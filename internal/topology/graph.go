@@ -357,18 +357,20 @@ func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
 	var pool []int
 	pool = append(pool, 0)
 	for v := 1; v < n; v++ {
-		targets := map[int]bool{}
+		seen := map[int]bool{}
+		var targets []int // in draw order: map iteration would be nondeterministic
 		k := m
 		if v < m {
 			k = v
 		}
 		for len(targets) < k {
 			t := pool[rng.Intn(len(pool))]
-			if t != v {
-				targets[t] = true
+			if t != v && !seen[t] {
+				seen[t] = true
+				targets = append(targets, t)
 			}
 		}
-		for t := range targets {
+		for _, t := range targets {
 			g.AddEdge(v, t) //nolint:errcheck
 			pool = append(pool, t)
 			pool = append(pool, v)

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -252,6 +253,27 @@ func TestPreferentialAttachment(t *testing.T) {
 	}
 	if !PreferentialAttachment(5, 0, rng).Connected() {
 		t.Fatal("m<1 should be clamped to 1 and stay connected")
+	}
+}
+
+// A fixed seed must build the same graph every time. The generator once
+// inserted each node's edges in map-iteration order, which reordered the
+// degree-proportional pool and made every downstream pa-* experiment drift
+// run to run.
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	build := func() []string {
+		g := PreferentialAttachment(120, 2, rand.New(rand.NewSource(4)))
+		edges := make([]string, 0, g.N())
+		for v := 0; v < g.N(); v++ {
+			edges = append(edges, fmt.Sprint(g.Neighbors(v)))
+		}
+		return edges
+	}
+	a, b := build(), build()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d adjacency diverged across identical seeds: %s vs %s", v, a[v], b[v])
+		}
 	}
 }
 
