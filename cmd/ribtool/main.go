@@ -92,7 +92,14 @@ func stats(rib *bgp.RIB) {
 	for p, n := range share {
 		list = append(list, ps{p, n})
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].n > list[j].n })
+	// Ties on count must break on port, or map iteration order decides
+	// which ports make the top-5 print.
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].port < list[j].port
+	})
 	fmt.Println("top ports by prefix share:")
 	for i, e := range list {
 		if i >= 5 {

@@ -59,13 +59,14 @@ func run(addr string, nodes, domains, days int, seed int64) error {
 	hours := 24 * days
 	tls := dep.Timelines(hours, rand.New(rand.NewSource(seed+2)))
 
-	ctrl, err := vantage.StartController(addr)
+	ctx := context.Background()
+	ctrl, err := vantage.StartController(ctx, addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("vantaged: controller on %s, %d nodes, %d names, %d hourly rounds\n",
 		ctrl.Addr(), nodes, len(tls), hours)
-	if err := vantage.Sweep(context.Background(), ctrl.Addr(), nodes, tls, vantage.PartialView(4)); err != nil {
+	if err := vantage.Sweep(ctx, ctrl.Addr(), nodes, tls, vantage.PartialView(4)); err != nil {
 		return err
 	}
 	if err := ctrl.Close(); err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
 	"locind/internal/iplane"
@@ -140,7 +142,7 @@ func IndirectionStretchHops(g *asgraph.Graph, pairs []mobility.DominantPair) []f
 		homes = append(homes, h)
 	}
 	// Deterministic order.
-	sortInts(homes)
+	sort.Ints(homes)
 	var out []float64
 	for _, h := range homes {
 		dist := g.ShortestUndirectedHops(h)
@@ -166,14 +168,6 @@ func IndirectionStretchLatency(p *iplane.Predictor, pairs []mobility.DominantPai
 		}
 	}
 	return lats, float64(len(lats)) / float64(len(pairs))
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Back-of-the-envelope calculators (§6.2.2 and §7.3).

@@ -131,7 +131,7 @@ func writeFile(dir, name string, fill func(*os.File) error) error {
 		return err
 	}
 	if err := fill(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errflow the fill error is the one worth reporting
 		return fmt.Errorf("expt: writing %s: %w", name, err)
 	}
 	return f.Close()

@@ -38,7 +38,7 @@ func runChaosScenario(t *testing.T, faults faultnet.PacketFaults, envSeed, jitte
 	}
 	env := faultnet.NewEnv(envSeed)
 	env.SetSleep(func(time.Duration) {})
-	srv := ServePacketConn(svc, faultnet.WrapPacketConn(pc, env, faults, faults))
+	srv := ServePacketConn(context.Background(), svc, faultnet.WrapPacketConn(pc, env, faults, faults))
 	defer srv.Close()
 
 	c := NewClient(srv.Addr())
@@ -145,7 +145,7 @@ func TestChaosDeterministicReplay(t *testing.T) {
 // the stale-mapping operating regime.
 func TestLookupStaleFallback(t *testing.T) {
 	svc, _ := New(3, 2)
-	srv, err := Serve(svc, "127.0.0.1:0")
+	srv, err := Serve(context.Background(), svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestClientContextCancellationMidRetry(t *testing.T) {
 // gets a structured error response, not a mangled parse or silence.
 func TestServerOversizedDatagram(t *testing.T) {
 	svc, _ := New(3, 2)
-	srv, err := Serve(svc, "127.0.0.1:0")
+	srv, err := Serve(context.Background(), svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestServerRecoverGuard(t *testing.T) {
 
 	// End to end: the same poisoned request must not kill a live loop.
 	svc, _ := New(3, 2)
-	srv, err := Serve(svc, "127.0.0.1:0")
+	srv, err := Serve(context.Background(), svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -196,7 +196,7 @@ func TestLoadPerReplica(t *testing.T) {
 
 func TestUDPServerRoundTrip(t *testing.T) {
 	svc, _ := New(5, 3)
-	srv, err := Serve(svc, "127.0.0.1:0")
+	srv, err := Serve(context.Background(), svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestUDPServerRoundTrip(t *testing.T) {
 
 func TestUDPServerBadInput(t *testing.T) {
 	svc, _ := New(3, 2)
-	srv, err := Serve(svc, "127.0.0.1:0")
+	srv, err := Serve(context.Background(), svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

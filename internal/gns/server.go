@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,33 +40,51 @@ type Server struct {
 	svc  *Service
 	conn net.PacketConn
 	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts a UDP server for svc on addr ("127.0.0.1:0" for tests). It
 // returns once the socket is bound; handling proceeds in the background
-// until Close.
-func Serve(svc *Service, addr string) (*Server, error) {
+// until Close is called or ctx is cancelled.
+func Serve(ctx context.Context, svc *Service, addr string) (*Server, error) {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return ServePacketConn(svc, conn), nil
+	return ServePacketConn(ctx, svc, conn), nil
 }
 
 // ServePacketConn serves svc on an already-bound packet transport — the
-// seam where fault-injecting wrappers plug in.
-func ServePacketConn(svc *Service, conn net.PacketConn) *Server {
+// seam where fault-injecting wrappers plug in. Cancelling ctx shuts the
+// server down as if Close had been called.
+func ServePacketConn(ctx context.Context, svc *Service, conn net.PacketConn) *Server {
 	s := &Server{svc: svc, conn: conn, done: make(chan struct{})}
 	go s.loop()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.close()
+		case <-s.done:
+		}
+	}()
 	return s
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
 
-// Close shuts the server down.
+// close tears the transport down exactly once; concurrent Close and ctx
+// cancellation must not race a second conn.Close error over the first.
+func (s *Server) close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.conn.Close() })
+	return s.closeErr
+}
+
+// Close shuts the server down and waits for the serve loop to exit.
 func (s *Server) Close() error {
-	err := s.conn.Close()
+	err := s.close()
 	<-s.done
 	return err
 }

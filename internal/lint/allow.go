@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suppression directives.
+//
+//	//lint:allow <check> <reason>          suppress <check> on this line and the next
+//	//lint:file-allow <check> <reason>     suppress <check> in this file
+//	//lint:package-allow <check> <reason>  suppress <check> in this package
+//
+// A //lint:allow written in the package doc comment (or anywhere above the
+// package clause) is promoted to package scope. <check> is an analyzer name
+// or "all". The reason is mandatory: a directive with no justification is
+// itself reported as a finding (check "lintdirective"), so suppressions
+// cannot accumulate without explanation.
+
+const directiveCheck = "lintdirective"
+
+var knownChecks = map[string]bool{
+	"determinism": true,
+	"seedflow":    true,
+	"errflow":     true,
+	"ctxflow":     true,
+	"all":         true,
+}
+
+type lineKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type allowIndex struct {
+	pkg   map[string]bool            // check -> package-wide allow
+	files map[string]map[string]bool // filename -> check set
+	lines map[lineKey]bool
+}
+
+func (ai *allowIndex) suppressed(d Diagnostic) bool {
+	if d.Check == directiveCheck {
+		return false
+	}
+	for _, check := range []string{d.Check, "all"} {
+		if ai.pkg[check] {
+			return true
+		}
+		if ai.files[d.Pos.Filename][check] {
+			return true
+		}
+		if ai.lines[lineKey{d.Pos.Filename, d.Pos.Line, check}] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans every comment in the package for lint directives and
+// returns the suppression index plus diagnostics for malformed directives.
+func collectAllows(pkg *Package) (*allowIndex, []Diagnostic) {
+	ai := &allowIndex{
+		pkg:   map[string]bool{},
+		files: map[string]map[string]bool{},
+		lines: map[lineKey]bool{},
+	}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		pos := pkg.Fset.Position(f.Package)
+		filename, pkgLine := pos.Filename, pos.Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, rest, ok := cutDirective(c.Text)
+				if !ok {
+					continue
+				}
+				cpos := pkg.Fset.Position(c.Pos())
+				check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !knownChecks[check]:
+					malformed = append(malformed, Diagnostic{Pos: cpos, Check: directiveCheck,
+						Message: fmt.Sprintf("//lint:%s names unknown check %q", kind, check)})
+					continue
+				case reason == "":
+					malformed = append(malformed, Diagnostic{Pos: cpos, Check: directiveCheck,
+						Message: "//lint:" + kind + " " + check + " needs a reason"})
+					continue
+				}
+				switch {
+				case kind == "package-allow", kind == "allow" && cpos.Line < pkgLine:
+					ai.pkg[check] = true
+				case kind == "file-allow":
+					fileSet(ai.files, filename)[check] = true
+				default: // line scope: the directive's line and the one below
+					ai.lines[lineKey{filename, cpos.Line, check}] = true
+					ai.lines[lineKey{filename, cpos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+	return ai, malformed
+}
+
+func cutDirective(text string) (kind, rest string, ok bool) {
+	const prefix = "//lint:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	body := text[len(prefix):]
+	for _, k := range []string{"package-allow", "file-allow", "allow"} {
+		if r, found := strings.CutPrefix(body, k); found && (r == "" || r[0] == ' ' || r[0] == '\t') {
+			return k, r, true
+		}
+	}
+	return "", "", false
+}
+
+func fileSet(m map[string]map[string]bool, file string) map[string]bool {
+	s, ok := m[file]
+	if !ok {
+		s = map[string]bool{}
+		m[file] = s
+	}
+	return s
+}

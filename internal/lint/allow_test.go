@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllowPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "fix", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestAllowScopes(t *testing.T) {
+	pkg := parseAllowPkg(t, `// Package fix exercises every directive scope.
+//
+//lint:allow seedflow promoted to package scope from above the package clause
+package fix
+
+//lint:file-allow errflow this file writes nowhere durable
+
+func f() {
+	//lint:allow determinism directive line and the next are covered
+	_ = 1
+	_ = 2
+}
+`)
+	ai, malformed := collectAllows(pkg)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+	at := func(line int, check string) bool {
+		return ai.suppressed(Diagnostic{
+			Pos:   token.Position{Filename: "fix.go", Line: line},
+			Check: check,
+		})
+	}
+	// Package scope: seedflow anywhere.
+	if !at(1, "seedflow") || !at(11, "seedflow") {
+		t.Error("package-promoted allow did not suppress seedflow")
+	}
+	// File scope: errflow anywhere in fix.go.
+	if !at(2, "errflow") || !at(10, "errflow") {
+		t.Error("file-allow did not suppress errflow")
+	}
+	// Line scope: the directive's line (9) and the next (10), not line 11.
+	if !at(9, "determinism") || !at(10, "determinism") {
+		t.Error("line allow did not cover its own line and the next")
+	}
+	if at(11, "determinism") {
+		t.Error("line allow leaked past the following line")
+	}
+	// Unlisted checks stay live.
+	if at(10, "ctxflow") {
+		t.Error("suppression applied to a check no directive names")
+	}
+	// lintdirective findings can never be suppressed.
+	if ai.suppressed(Diagnostic{Pos: token.Position{Filename: "fix.go", Line: 6}, Check: directiveCheck}) {
+		t.Error("lintdirective finding was suppressible")
+	}
+}
+
+func TestAllowAll(t *testing.T) {
+	pkg := parseAllowPkg(t, `package fix
+
+func f() {
+	//lint:allow all generated table, every rule waived here
+	_ = 1
+}
+`)
+	ai, malformed := collectAllows(pkg)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v, want none", malformed)
+	}
+	for _, check := range []string{"determinism", "seedflow", "errflow", "ctxflow"} {
+		if !ai.suppressed(Diagnostic{Pos: token.Position{Filename: "fix.go", Line: 5}, Check: check}) {
+			t.Errorf("allow all did not suppress %s", check)
+		}
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	pkg := parseAllowPkg(t, `package fix
+
+//lint:allow errflow
+//lint:file-allow nosuchcheck because reasons
+//lint:allow
+func f() {}
+`)
+	ai, malformed := collectAllows(pkg)
+	wantFragments := []string{
+		"needs a reason",
+		`unknown check "nosuchcheck"`,
+		`unknown check ""`,
+	}
+	if len(malformed) != len(wantFragments) {
+		t.Fatalf("got %d malformed diagnostics %v, want %d", len(malformed), malformed, len(wantFragments))
+	}
+	for i, frag := range wantFragments {
+		if malformed[i].Check != directiveCheck {
+			t.Errorf("malformed[%d].Check = %q, want %q", i, malformed[i].Check, directiveCheck)
+		}
+		if !strings.Contains(malformed[i].Message, frag) {
+			t.Errorf("malformed[%d] = %q, want it to mention %q", i, malformed[i].Message, frag)
+		}
+	}
+	// A malformed directive must not register any suppression.
+	if ai.suppressed(Diagnostic{Pos: token.Position{Filename: "fix.go", Line: 4}, Check: "errflow"}) {
+		t.Error("reason-less directive still suppressed errflow")
+	}
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locind/internal/lint"
+	"locind/internal/lint/linttest"
+)
+
+func TestErrflow(t *testing.T) {
+	linttest.Run(t, "testdata/errflow", lint.Errflow,
+		"locind/internal/exptfix")
+}

@@ -1,0 +1,123 @@
+// Package lint implements this repository's custom static analyzers and the
+// small analysis framework they run on.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis — an
+// Analyzer holds a name, a doc string, and a Run function over a *Pass —
+// but is built purely on the standard library's go/ast and go/types so the
+// module stays dependency-free. Packages are loaded by load.go via
+// `go list -json -deps` and type-checked bottom-up, which gives every pass
+// full type information without the x/tools loader.
+//
+// The analyzers encode invariants the repo has already been bitten by:
+//
+//	determinism  wall-clock reads, global math/rand state, and map-iteration
+//	             order leaking into simulation output (the
+//	             topology.PreferentialAttachment regression class)
+//	seedflow     *rand.Rand constructed from seeds with no provenance
+//	errflow      discarded errors from internal/stats, internal/core, and
+//	             io/encoding sinks (the expt.RunSensitivity regression class)
+//	ctxflow      exported gns/nomad/vantage/reliable entry points that spawn
+//	             goroutines or touch the network without a context.Context
+//
+// Findings are suppressed with `//lint:allow <check> <reason>` comments; see
+// allow.go for the three scopes (line, file, package).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one named check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:allow directives
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned in the file set of the pass that
+// produced it.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Seedflow, Errflow, Ctxflow}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics (after //lint:allow suppression), sorted by position. The
+// second return value reports malformed //lint:allow directives, which are
+// themselves surfaced as findings so they cannot rot silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg)
+		for _, d := range malformed {
+			diags = append(diags, d)
+		}
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if !allows.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}

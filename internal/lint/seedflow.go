@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Seedflow polices how *rand.Rand generators are seeded:
+//
+//   - A seed derived from the wall clock or process state (time.Now,
+//     os.Getpid, crypto/rand) is flagged everywhere: such a generator can
+//     never replay a run, which defeats the repository's bit-for-bit
+//     reproducibility contract.
+//   - In locind/internal/... library packages, a seed that is a bare
+//     compile-time constant is also flagged: a library that hard-codes its
+//     seed hides the replay handle from its caller. Seeds must arrive
+//     through a parameter or a struct field (cmd/ binaries and examples/
+//     are exempt — a fixed literal seed at the top of a demo is exactly how
+//     a reproducible entry point should look).
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "rand.Rand seeds must be derived from a parameter or struct field, never the wall clock",
+	Run:  runSeedflow,
+}
+
+// seedConstructors maps rand-source constructors to the indices of their
+// seed arguments.
+var seedConstructors = map[string][]int{
+	"NewSource":  {0},    // math/rand
+	"NewPCG":     {0, 1}, // math/rand/v2
+	"NewChaCha8": {0},    // math/rand/v2
+}
+
+func runSeedflow(p *Pass) error {
+	library := moduleInternal(p.Pkg.Path())
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil || !isRandPkg(funcPkgPath(fn)) {
+				return true
+			}
+			argIdxs, ok := seedConstructors[fn.Name()]
+			if !ok {
+				return true
+			}
+			for _, i := range argIdxs {
+				if i >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[i]
+				if from := nondeterministicSource(p, arg); from != "" {
+					p.Reportf(arg.Pos(), "seed derived from %s can never replay a run; derive it from a parameter or struct field", from)
+					continue
+				}
+				if library && p.TypesInfo.Types[arg].Value != nil {
+					p.Reportf(arg.Pos(), "constant seed in library code hides the replay handle from callers; derive it from a parameter or struct field")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondeterministicSource reports the first wall-clock or process-state call
+// found inside expr ("" if none).
+func nondeterministicSource(p *Pass, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch path, name := funcPkgPath(fn), fn.Name(); {
+		case path == "time" && (name == "Now" || name == "Since"):
+			found = "time." + name
+		case path == "os" && (name == "Getpid" || name == "Getppid"):
+			found = "os." + name
+		case path == "crypto/rand":
+			found = "crypto/rand." + name
+		}
+		return found == ""
+	})
+	return found
+}

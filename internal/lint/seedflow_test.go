@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locind/internal/lint"
+	"locind/internal/lint/linttest"
+)
+
+func TestSeedflow(t *testing.T) {
+	linttest.Run(t, "testdata/seedflow", lint.Seedflow,
+		"locind/internal/seedfix", "example.com/demofix")
+}

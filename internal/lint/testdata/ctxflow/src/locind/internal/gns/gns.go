@@ -1,0 +1,51 @@
+// Package gns is a ctxflow golden fixture named after a gated service
+// package: exported entry points that spawn goroutines or touch the
+// network must take a context.Context first.
+package gns
+
+import (
+	"context"
+	"net"
+)
+
+// Serve spawns the accept loop with no way for callers to stop it.
+func Serve(ln net.Listener) { // want `exported Serve spawns goroutines but its first parameter is not a context\.Context`
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Probe dials without a context, so callers cannot bound the connect.
+func Probe(addr string) error { // want `exported Probe does network I/O \(net\.Dial\) but its first parameter is not a context\.Context`
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// ServeCtx is the sanctioned shape: the context arrives first and bounds
+// the goroutine's lifetime.
+func ServeCtx(ctx context.Context, ln net.Listener) {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+}
+
+// Addr is pure bookkeeping: Close/Addr-style verbs are not I/O and need no
+// context.
+func Addr(ln net.Listener) string { return ln.Addr().String() }
+
+// probe is unexported, so it is not an entry point the analyzer gates.
+func probe(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}

@@ -1,0 +1,19 @@
+// Package otherfix lies outside the gated service packages (gns, nomad,
+// vantage, reliable): spawning goroutines without a context is allowed
+// here, and ctxflow must stay quiet.
+package otherfix
+
+import "sync"
+
+// Fan runs n workers to completion; the WaitGroup bounds them.
+func Fan(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,38 @@
+// Package simfix is a determinism golden fixture shaped like a simulation
+// library: every function here is a way nondeterminism has actually leaked
+// into this repository's results.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick stamps an event with the host clock instead of simulated time.
+func Tick() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock in a simulation package`
+}
+
+// Jitter draws from the hidden process-wide generator, so no seed can
+// replay it.
+func Jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from global process-wide state`
+}
+
+// Degrees is the PreferentialAttachment regression shape: the RNG draw is
+// consumed in map iteration order and the result slice records that order,
+// so every run grows a different graph from the same seed.
+func Degrees(deg map[int]int, rng *rand.Rand) []int {
+	var out []int
+	for n := range deg {
+		out = append(out, n+rng.Intn(3)) // want `append inside range over map` `RNG draw inside range over map`
+	}
+	return out
+}
+
+// Publish streams map entries to a consumer, which observes random order.
+func Publish(deg map[int]int, ch chan<- int) {
+	for n := range deg {
+		ch <- n // want `channel send inside range over map`
+	}
+}

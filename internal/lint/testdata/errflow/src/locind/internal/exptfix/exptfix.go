@@ -1,0 +1,34 @@
+// Package exptfix is an errflow golden fixture shaped like the expt
+// drivers: code that computes statistics and writes result files, where a
+// swallowed error silently corrupts a published figure.
+package exptfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"locind/internal/stats"
+)
+
+// Sensitivity is the RunSensitivity regression shape: the blanked Pearson
+// error zeroes the correlation and the caller publishes the zero.
+func Sensitivity(xs, ys []float64) float64 {
+	r, _ := stats.Pearson(xs, ys) // want `error discarded with blank identifier`
+	return r
+}
+
+// Dump drops a watched io error used as a bare statement.
+func Dump(w io.Writer, data []byte) {
+	w.Write(data) // want `io\.Write returns an error that is discarded here`
+}
+
+// Report prints to a destination whose Write can actually fail.
+func Report(f *os.File, r float64) {
+	fmt.Fprintf(f, "r=%g\n", r) // want `fmt\.Fprintf returns an error that is discarded here`
+}
+
+// Finish discards the one error a write-path Close reports.
+func Finish(f *os.File) {
+	_ = f.Close() // want `error discarded with blank identifier`
+}

@@ -1,0 +1,10 @@
+package exptfix
+
+import "locind/internal/stats"
+
+// Test files are exempt from errflow: a test that deliberately ignores an
+// error to exercise a degenerate input is the test author's business.
+func pearsonOrZero(xs, ys []float64) float64 {
+	r, _ := stats.Pearson(xs, ys)
+	return r
+}

@@ -1,0 +1,19 @@
+// Package stats is a fixture stub standing in for the real
+// locind/internal/stats: errflow watches that import path, and the golden
+// test needs the RunSensitivity regression shape — a swallowed Pearson
+// error — to fire against it without dragging the real package into the
+// fixture tree.
+package stats
+
+import "errors"
+
+var errDegenerate = errors.New("stats: degenerate input")
+
+// Pearson mimics the real signature: the error is the only signal that the
+// returned correlation is meaningless.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0, errDegenerate
+	}
+	return 1, nil
+}

@@ -1,0 +1,18 @@
+// Package demofix stands in for a cmd/ binary or example: a fixed literal
+// seed at the top of a demo is exactly how a reproducible entry point
+// should look, so the constant-seed rule stays quiet here. Wall-clock
+// seeding is still flagged: it is unreplayable no matter where it lives.
+package demofix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Demo pins its seed; every invocation replays the same run.
+func Demo() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+// Drift reseeds from the clock, losing the replay handle even in a demo.
+func Drift() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed derived from time\.Now can never replay a run`
+}

@@ -1,0 +1,25 @@
+package seedfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// FromParam is the sanctioned shape: the caller owns the seed and can
+// replay the run.
+func FromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Config carries the seed as a field, the other sanctioned provenance.
+type Config struct{ Seed int64 }
+
+// FromField derives the generator from configuration.
+func (c Config) FromField() *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+// PCG threads both seed words from the caller.
+func PCG(seed1, seed2 uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed1, seed2))
+}

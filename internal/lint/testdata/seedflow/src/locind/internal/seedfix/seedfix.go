@@ -1,0 +1,32 @@
+// Package seedfix is a seedflow golden fixture shaped like a simulation
+// library: generators here must be seeded from a caller-supplied value so
+// any run can be replayed bit-for-bit.
+package seedfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+// FromClock seeds from the wall clock: unreplayable anywhere in the module.
+func FromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed derived from time\.Now can never replay a run`
+}
+
+// FromPid mixes process state into the seed.
+func FromPid() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want `seed derived from os\.Getpid can never replay a run`
+}
+
+// Hardcoded hides the replay handle inside a library.
+func Hardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `constant seed in library code hides the replay handle`
+}
+
+// PCGFromClock shows both rules on the v2 constructor, whose two seed words
+// are checked independently.
+func PCGFromClock() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(uint64(time.Now().UnixNano()), 2)) // want `seed derived from time\.Now` `constant seed in library code`
+}

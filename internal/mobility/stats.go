@@ -1,6 +1,8 @@
 package mobility
 
 import (
+	"sort"
+
 	"locind/internal/netaddr"
 )
 
@@ -184,7 +186,12 @@ func (dt *DeviceTrace) DominantDisplacements() []DominantPair {
 			if s.DominantAS < 0 {
 				continue
 			}
-			for as, frac := range s.ASDwell {
+			ases := make([]int, 0, len(s.ASDwell))
+			for as := range s.ASDwell {
+				ases = append(ases, as)
+			}
+			sort.Ints(ases)
+			for _, as := range ases {
 				if as == s.DominantAS {
 					continue
 				}
@@ -192,7 +199,7 @@ func (dt *DeviceTrace) DominantDisplacements() []DominantPair {
 					User:       u.ID,
 					DominantAS: s.DominantAS,
 					VisitedAS:  as,
-					DwellFrac:  frac,
+					DwellFrac:  s.ASDwell[as],
 				})
 			}
 		}

@@ -51,7 +51,7 @@ func chaosController(t *testing.T, env *faultnet.Env, faults faultnet.StreamFaul
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl := ServeController(faultnet.WrapListener(ln, env, faults))
+	ctrl := ServeController(context.Background(), faultnet.WrapListener(ln, env, faults))
 	t.Cleanup(func() { ctrl.Close() })
 	return ctrl
 }
@@ -197,7 +197,7 @@ func TestVantageChaosDeterministicReplay(t *testing.T) {
 // a node that streams half a campaign and drops dead contributes nothing —
 // the union holds exactly the surviving node's observations.
 func TestNodeDiesMidCampaignExcluded(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestNodeDiesMidCampaignExcluded(t *testing.T) {
 // replaying its whole campaign because the Bye ack was lost is recognised
 // and skipped, never double-counted.
 func TestDuplicateCampaignCommitDeduplicated(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestDuplicateCampaignCommitDeduplicated(t *testing.T) {
 // TestCampaignContextCancellation: a cancelled context aborts the campaign
 // promptly with the context error, not a hang.
 func TestCampaignContextCancellation(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

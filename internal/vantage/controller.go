@@ -1,6 +1,7 @@
 package vantage
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -34,38 +35,63 @@ type Controller struct {
 	errs       []error
 
 	wg sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+	stopped   chan struct{}
 }
 
 // StartController listens on the given address ("127.0.0.1:0" for an
-// ephemeral test port) and begins accepting vantage connections.
-func StartController(addr string) (*Controller, error) {
+// ephemeral test port) and begins accepting vantage connections until Close
+// is called or ctx is cancelled.
+func StartController(ctx context.Context, addr string) (*Controller, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return ServeController(ln), nil
+	return ServeController(ctx, ln), nil
 }
 
 // ServeController runs a controller over a caller-provided listener — the
-// seam chaos tests use to inject a fault-wrapped transport.
-func ServeController(ln net.Listener) *Controller {
+// seam chaos tests use to inject a fault-wrapped transport. Cancelling ctx
+// stops accepting connections as if Close had been called.
+func ServeController(ctx context.Context, ln net.Listener) *Controller {
 	c := &Controller{
 		ln:        ln,
 		merged:    map[names.Name]map[int]map[netaddr.Addr]bool{},
 		nodes:     map[string]bool{},
 		committed: map[string]bool{},
+		stopped:   make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.close()
+		case <-c.stopped:
+		}
+	}()
 	return c
 }
 
 // Addr returns the controller's listen address.
 func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
+// close stops the listener exactly once; Close and ctx cancellation can
+// race, and the second closer must see the first's error, not a spurious
+// "use of closed network connection".
+func (c *Controller) close() error {
+	c.closeOnce.Do(func() {
+		c.closeErr = c.ln.Close()
+		close(c.stopped)
+	})
+	return c.closeErr
+}
+
 // Close stops accepting connections and waits for in-flight handlers.
 func (c *Controller) Close() error {
-	err := c.ln.Close()
+	err := c.close()
 	c.wg.Wait()
 	return err
 }

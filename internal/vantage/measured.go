@@ -2,6 +2,7 @@ package vantage
 
 import (
 	"fmt"
+	"slices"
 
 	"locind/internal/cdn"
 	"locind/internal/netaddr"
@@ -66,9 +67,5 @@ func (c *Controller) MeasuredTimelines(sites []cdn.Site, hours int) ([]cdn.Timel
 }
 
 func sortAddrs(as []netaddr.Addr) {
-	for i := 1; i < len(as); i++ {
-		for j := i; j > 0 && as[j] < as[j-1]; j-- {
-			as[j], as[j-1] = as[j-1], as[j]
-		}
-	}
+	slices.Sort(as)
 }

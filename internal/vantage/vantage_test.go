@@ -62,7 +62,7 @@ func TestFrameErrors(t *testing.T) {
 }
 
 func TestControllerBasics(t *testing.T) {
-	c, err := StartController("127.0.0.1:0")
+	c, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestSweepReconstructsGroundTruth(t *testing.T) {
 		tls = tls[:60]
 	}
 
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestSweepErrors(t *testing.T) {
 	if err := Sweep(context.Background(), "127.0.0.1:1", 1, nil, nil); err == nil {
 		t.Fatal("unreachable controller should error")
 	}
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestSweepErrors(t *testing.T) {
 }
 
 func TestControllerRejectsGarbage(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestControllerRejectsGarbage(t *testing.T) {
 }
 
 func TestControllerBadAddrInReport(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestMeasuredTimelinesMatchTruth(t *testing.T) {
 		truth = truth[:40]
 	}
 
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestMeasuredTimelinesMatchTruth(t *testing.T) {
 }
 
 func TestMeasuredTimelineErrors(t *testing.T) {
-	ctrl, err := StartController("127.0.0.1:0")
+	ctrl, err := StartController(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
