@@ -1,0 +1,37 @@
+# Developer entry points. Everything here is plain go tooling — the module
+# is stdlib-only and every target works offline.
+
+GO ?= go
+
+# BENCH_SET picks which benchmarks `make bench` records. The default is the
+# sequential-vs-parallel driver pairs plus the world build: the numbers the
+# evaluation engine's speedup claims rest on. Override for a full sweep:
+#
+#   make bench BENCH_SET='.'
+BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)
+
+.PHONY: all build test race lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/lintlocind ./...
+
+# bench runs the selected benchmarks once and records the result as the
+# next free BENCH_<n>.json in the repo root, together with an obs snapshot
+# of the route-memo hit rate (see cmd/benchjson). The trajectory of
+# BENCH_*.json files is append-only: successive runs add new indices.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_SET)' -benchmem -benchtime 1x -count 1 . | $(GO) run ./cmd/benchjson
+
+clean:
+	$(GO) clean ./...

@@ -15,6 +15,7 @@
 // Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
 // deliberate violation with a `//lint:allow <check> <reason>` comment (see
 // internal/lint/allow.go for file- and package-scope forms).
+//
 //lint:file-allow errflow diagnostics go to stdout/stderr; a failed print has nowhere better to be reported
 package main
 

@@ -16,16 +16,25 @@
 //	-quick       run at ~1/10 scale (fast; used by CI)
 //	-parallel N  evaluation worker count (0 = GOMAXPROCS); any value
 //	             produces bit-identical output
+//	-obs.addr    serve /metrics, /debug/vars, /debug/pprof and
+//	             /debug/traces on this address (empty = disabled;
+//	             output is byte-identical either way, DESIGN.md §8)
+//	-obs.linger  keep the introspection endpoint up this long after
+//	             the experiments finish
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"locind/internal/cdn"
 	"locind/internal/expt"
+	"locind/internal/obs"
+	"locind/internal/par"
 )
 
 func main() {
@@ -33,6 +42,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	out := flag.String("out", "", "directory to export raw data (trace CSV, RIB dumps, figure series)")
 	parallel := flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS); output is identical for any value")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address (empty = disabled)")
+	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection endpoint up this long after the experiments finish (lets scrapers reach a batch run)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -40,14 +51,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(args, *seed, *quick, *out, *parallel); err != nil {
+	if err := run(args, *seed, *quick, *out, *parallel, *obsAddr, *obsLinger); err != nil {
 		fmt.Fprintln(os.Stderr, "locind:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] [-parallel N] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] [-parallel N] [-obs.addr HOST:PORT [-obs.linger D]] <experiment>...
 
 experiments:
   table1       §5 analytic model: stretch vs update cost on toy topologies
@@ -74,7 +85,7 @@ var deviceExperiments = map[string]bool{
 	"sensitivity": true, "envelope": true, "ablate": true,
 }
 
-func run(args []string, seed int64, quick bool, out string, parallel int) error {
+func run(args []string, seed int64, quick bool, out string, parallel int, obsAddr string, obsLinger time.Duration) error {
 	want := map[string]bool{}
 	for _, a := range args {
 		a = strings.ToLower(a)
@@ -100,6 +111,33 @@ func run(args []string, seed int64, quick bool, out string, parallel int) error 
 		cfg.Seed = seed
 	}
 	cfg.Parallel = parallel
+
+	// Observability is strictly additive: the same seed renders the same
+	// bytes with or without the endpoint (obs_test.go holds the engine to
+	// that), so flipping -obs.addr on can never change a result.
+	var tracer *obs.Tracer
+	var ring *obs.Ring
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		ring = obs.NewRing(0)
+		tracer = obs.NewTracer(cfg.Seed, 0)
+		begin := time.Now()
+		tracer.SetNow(func() time.Duration { return time.Since(begin) })
+		cfg.Obs = expt.NewMetrics(reg)
+		par.SetMetrics(par.NewMetrics(reg))
+		srv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //nolint:errcheck // the process is exiting
+		defer func() {
+			if obsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "obs: lingering %v on http://%s\n", obsLinger, srv.Addr())
+				time.Sleep(obsLinger)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "obs: introspection on http://%s/metrics\n", srv.Addr())
+	}
 
 	if want["table1"] {
 		n := 255
@@ -137,7 +175,9 @@ func run(args []string, seed int64, quick bool, out string, parallel int) error 
 	}
 	fmt.Fprintf(os.Stderr, "building world (seed %d, %d ASes, %d users)...\n",
 		cfg.Seed, cfg.AS.Tier1+cfg.AS.Tier2+cfg.AS.Stubs, cfg.Device.Users)
+	buildSpan := tracer.Start("build-world")
 	w, err := expt.BuildWorld(cfg)
+	buildSpan.End()
 	if err != nil {
 		return err
 	}
@@ -166,6 +206,8 @@ func run(args []string, seed int64, quick bool, out string, parallel int) error 
 		if !want[k] {
 			continue
 		}
+		span := tracer.Start("experiment", "name", k)
+		fmt.Fprintf(ring, "experiment %s start\n", k)
 		switch k {
 		case "fig6":
 			fmt.Println(expt.RunFig6(w).Render())
@@ -206,6 +248,8 @@ func run(args []string, seed int64, quick bool, out string, parallel int) error 
 			}
 			fmt.Println(intra.Render())
 		}
+		fmt.Fprintf(ring, "experiment %s done\n", k)
+		span.End()
 	}
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "exporting raw data to %s...\n", out)

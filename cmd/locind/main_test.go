@@ -8,20 +8,20 @@ import (
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"fig99"}, 0, true, "", 0); err == nil {
+	if err := run([]string{"fig99"}, 0, true, "", 0, "", 0); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestRunTable1Only(t *testing.T) {
 	// table1 needs no world; must complete quickly.
-	if err := run([]string{"table1"}, 7, true, "", 0); err != nil {
+	if err := run([]string{"table1"}, 7, true, "", 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNetsimOnly(t *testing.T) {
-	if err := run([]string{"netsim"}, 7, true, "", 0); err != nil {
+	if err := run([]string{"netsim"}, 7, true, "", 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +31,7 @@ func TestRunWorldExperimentsAndExport(t *testing.T) {
 		t.Skip("world build is slow")
 	}
 	dir := t.TempDir()
-	if err := run([]string{"fig8", "fig12"}, 7, true, dir, 0); err != nil {
+	if err := run([]string{"fig8", "fig12"}, 7, true, dir, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
@@ -41,7 +41,7 @@ func TestRunWorldExperimentsAndExport(t *testing.T) {
 
 // captureRun runs the experiments with stdout redirected and returns the
 // rendered output.
-func captureRun(t *testing.T, args []string, parallel int) string {
+func captureRun(t *testing.T, args []string, parallel int, obsAddr string) string {
 	t.Helper()
 	r, w, err := os.Pipe()
 	if err != nil {
@@ -55,7 +55,7 @@ func captureRun(t *testing.T, args []string, parallel int) string {
 		b, _ := io.ReadAll(r)
 		done <- b
 	}()
-	runErr := run(args, 7, true, "", parallel)
+	runErr := run(args, 7, true, "", parallel, obsAddr, 0)
 	w.Close()
 	out := <-done
 	os.Stdout = orig
@@ -72,8 +72,8 @@ func TestRunParallelByteIdentical(t *testing.T) {
 		t.Skip("world build is slow")
 	}
 	args := []string{"fig8", "fig11b", "ablate"}
-	seq := captureRun(t, args, 1)
-	par := captureRun(t, args, 8)
+	seq := captureRun(t, args, 1, "")
+	par := captureRun(t, args, 8, "127.0.0.1:0")
 	if seq != par {
 		t.Fatalf("output diverged between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
 	}

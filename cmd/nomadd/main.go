@@ -23,6 +23,8 @@ import (
 	"locind/internal/bgp"
 	"locind/internal/mobility"
 	"locind/internal/nomad"
+	"locind/internal/obs"
+	"locind/internal/reliable"
 )
 
 func main() {
@@ -30,15 +32,16 @@ func main() {
 	users := flag.Int("users", 40, "devices in the fleet")
 	days := flag.Int("days", 5, "days of mobility to replay")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *users, *days, *seed); err != nil {
+	if err := run(*addr, *users, *days, *seed, *obsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "nomadd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, users, days int, seed int64) error {
+func run(addr string, users, days int, seed int64, obsAddr string) error {
 	// Substrate: a small internetwork and address plan for the fleet.
 	acfg := asgraph.DefaultSynthConfig()
 	acfg.Tier2 = 80
@@ -59,6 +62,19 @@ func run(addr string, users, days int, seed int64) error {
 		return err
 	}
 
+	// Observability: fleet-wide retry counters on an introspection port.
+	var fleetMetrics *reliable.Metrics
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		fleetMetrics = reliable.NewMetrics(reg, "nomad")
+		osrv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, nil, nil))
+		if err != nil {
+			return err
+		}
+		defer osrv.Close() //nolint:errcheck // the process is exiting
+		fmt.Printf("nomadd: introspection on http://%s/metrics\n", osrv.Addr())
+	}
+
 	// The backend on a real socket.
 	srv := nomad.NewServer()
 	ln, err := net.Listen("tcp", addr)
@@ -70,7 +86,7 @@ func run(addr string, users, days int, seed int64) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("nomadd: backend listening on %s\n", base)
 
-	uploaded, err := nomad.RunFleet(context.Background(), base, trace, 8)
+	uploaded, err := nomad.RunFleetObserved(context.Background(), base, trace, 8, fleetMetrics)
 	if err != nil {
 		return err
 	}

@@ -17,9 +17,13 @@ import (
 	"math/rand"
 	"os"
 
+	"time"
+
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
 	"locind/internal/cdn"
+	"locind/internal/obs"
+	"locind/internal/reliable"
 	"locind/internal/vantage"
 )
 
@@ -29,15 +33,16 @@ func main() {
 	domains := flag.Int("domains", 12, "popular domains to monitor")
 	days := flag.Int("days", 2, "measurement days (24 resolutions per day)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *domains, *days, *seed); err != nil {
+	if err := run(*addr, *nodes, *domains, *days, *seed, *obsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "vantaged:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes, domains, days int, seed int64) error {
+func run(addr string, nodes, domains, days int, seed int64, obsAddr string) error {
 	acfg := asgraph.DefaultSynthConfig()
 	acfg.Tier2 = 80
 	acfg.Stubs = 700
@@ -60,13 +65,35 @@ func run(addr string, nodes, domains, days int, seed int64) error {
 	tls := dep.Timelines(hours, rand.New(rand.NewSource(seed+2)))
 
 	ctx := context.Background()
+
+	// Observability: campaign-wide retry counters on an introspection port.
+	var campaignMetrics *reliable.Metrics
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		campaignMetrics = reliable.NewMetrics(reg, "vantage")
+		osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, nil, nil))
+		if err != nil {
+			return err
+		}
+		defer osrv.Close() //nolint:errcheck // the process is exiting
+		fmt.Printf("vantaged: introspection on http://%s/metrics\n", osrv.Addr())
+	}
+
 	ctrl, err := vantage.StartController(ctx, addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("vantaged: controller on %s, %d nodes, %d names, %d hourly rounds\n",
 		ctrl.Addr(), nodes, len(tls), hours)
-	if err := vantage.Sweep(ctx, ctrl.Addr(), nodes, tls, vantage.PartialView(4)); err != nil {
+	cp := &vantage.Campaign{
+		Controller: ctrl.Addr(),
+		Nodes:      nodes,
+		View:       vantage.PartialView(4),
+		Retries:    2,
+		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+		Metrics:    campaignMetrics,
+	}
+	if err := cp.Run(ctx, tls); err != nil {
 		return err
 	}
 	if err := ctrl.Close(); err != nil {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"locind/internal/bgp"
 	"locind/internal/netaddr"
+	"locind/internal/obs"
 )
 
 // Memo wraps a RouteLookup with a per-router addr → route cache. The
@@ -17,10 +19,16 @@ import (
 // Memo is safe for concurrent use; parallel workers sharing one router
 // simply share its cache. A racing pair of first lookups both consult the
 // underlying table and store the same value, so results never depend on
-// scheduling.
+// scheduling. Because the lookup is pure, neither does eviction: a capped
+// memo recomputes what it dropped and returns identical answers.
 type Memo struct {
 	r     RouteLookup
-	cache sync.Map // netaddr.Addr → memoEntry
+	cache atomic.Pointer[sync.Map] // netaddr.Addr → memoEntry
+	limit int64                    // approximate entry cap; 0 = unbounded
+	size  atomic.Int64             // entries stored in the current epoch
+
+	// nil-safe obs handles; unobserved memos pay one predictable branch.
+	hits, misses, evictions *obs.Counter
 }
 
 type memoEntry struct {
@@ -28,8 +36,38 @@ type memoEntry struct {
 	ok bool
 }
 
-// NewMemo wraps r in a fresh cache.
-func NewMemo(r RouteLookup) *Memo { return &Memo{r: r} }
+// MemoMetrics aggregates cache behaviour across every memo sharing it.
+type MemoMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+}
+
+// NewMemoMetrics registers the memo counter families on reg. A nil
+// registry yields all-nil handles.
+func NewMemoMetrics(reg *obs.Registry) *MemoMetrics {
+	return &MemoMetrics{
+		Hits:      reg.Counter("locind_memo_hits_total", "route memo cache hits"),
+		Misses:    reg.Counter("locind_memo_misses_total", "route memo cache misses"),
+		Evictions: reg.Counter("locind_memo_evictions_total", "route memo entries dropped by epoch flushes"),
+	}
+}
+
+// NewMemo wraps r in a fresh unbounded, unobserved cache.
+func NewMemo(r RouteLookup) *Memo { return NewMemoObserved(r, 0, nil) }
+
+// NewMemoObserved wraps r with an approximate entry cap and obs counters.
+// A limit of 0 means unbounded; when the cap is crossed the whole cache is
+// flushed in one epoch swap (O(1), no per-entry bookkeeping) and the
+// dropped entries are counted as evictions. ms may be nil.
+func NewMemoObserved(r RouteLookup, limit int, ms *MemoMetrics) *Memo {
+	m := &Memo{r: r, limit: int64(limit)}
+	if ms != nil {
+		m.hits, m.misses, m.evictions = ms.Hits, ms.Misses, ms.Evictions
+	}
+	m.cache.Store(&sync.Map{})
+	return m
+}
 
 // Port returns the memoized output port (next-hop AS) for a.
 func (m *Memo) Port(a netaddr.Addr) (int, bool) {
@@ -42,11 +80,23 @@ func (m *Memo) Port(a netaddr.Addr) (int, bool) {
 
 // RouteFor returns the memoized selected route for a.
 func (m *Memo) RouteFor(a netaddr.Addr) (bgp.Route, bool) {
-	if e, hit := m.cache.Load(a); hit {
+	c := m.cache.Load()
+	if e, hit := c.Load(a); hit {
+		m.hits.Inc()
 		ent := e.(memoEntry)
 		return ent.rt, ent.ok
 	}
+	m.misses.Inc()
 	rt, ok := m.r.RouteFor(a)
-	m.cache.Store(a, memoEntry{rt: rt, ok: ok})
+	c.Store(a, memoEntry{rt: rt, ok: ok})
+	if m.limit > 0 && m.size.Add(1) > m.limit {
+		// Epoch flush: swing the pointer to an empty map. Concurrent
+		// stores racing into the old epoch are simply dropped — the
+		// underlying lookup is pure, so nothing observable changes; the
+		// cap and the eviction count are approximate by design.
+		if m.cache.CompareAndSwap(c, &sync.Map{}) {
+			m.evictions.Add(m.size.Swap(0))
+		}
+	}
 	return rt, ok
 }

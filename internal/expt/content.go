@@ -75,13 +75,16 @@ func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 	shards := par.Shards(len(tls), par.Workers(w.Cfg.Parallel))
 	memos := make([]*core.Memo, len(cols))
 	for i, c := range cols {
-		memos[i] = core.NewMemo(c.FIB)
+		memos[i] = w.Cfg.memo(c.FIB)
 	}
 	partial := make([]core.StrategyStats, len(cols)*len(shards))
 	par.ForEach(w.Cfg.Parallel, len(partial), func(t int) {
 		ci, si := t/len(shards), t%len(shards)
 		sh := shards[si]
 		partial[t] = core.ContentUpdateStatsAllFused(memos[ci], tls[sh[0]:sh[1]])
+		if si == len(shards)-1 {
+			w.Cfg.Obs.collectorDone()
+		}
 	})
 	res := Fig11bcResult{Class: class}
 	res.BestPort = make([]RouterRate, len(cols))
@@ -99,6 +102,7 @@ func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 			Name: c.Name, Rate: tot.Flooding.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
 		}
 	}
+	w.Cfg.Obs.rows(len(res.BestPort) + len(res.Flooding))
 	return res
 }
 
@@ -216,7 +220,8 @@ func RunStrategyAblation(w *World) AblationResult {
 	popular, _ := w.TimelinesByClass()
 	cols := w.RouteViews
 	sets := par.Map(w.Cfg.Parallel, len(cols), func(i int) core.StrategyStats {
-		return core.ContentUpdateStatsAllFused(core.NewMemo(cols[i].FIB), popular)
+		defer w.Cfg.Obs.collectorDone()
+		return core.ContentUpdateStatsAllFused(w.Cfg.memo(cols[i].FIB), popular)
 	})
 	best := -1
 	for i := range sets {
@@ -272,13 +277,14 @@ func RunSessionSweep(w *World, counts []int) (SessionSweepResult, error) {
 		if err != nil {
 			return point{err: err}
 		}
-		return point{rate: core.DeviceUpdateStats(core.NewMemo(col.FIB), events).Rate()}
+		return point{rate: core.DeviceUpdateStats(w.Cfg.memo(col.FIB), events).Rate()}
 	})
 	var res SessionSweepResult
 	for i, p := range pts {
 		if p.err != nil {
 			return res, p.err
 		}
+		w.Cfg.Obs.rows(1)
 		res.Points = append(res.Points, struct {
 			Sessions int
 			Rate     float64

@@ -126,7 +126,8 @@ func RunFig8(w *World) Fig8Result {
 	res := Fig8Result{Events: len(events)}
 	res.Routers = par.Map(w.Cfg.Parallel, len(w.RouteViews), func(i int) RouterRate {
 		c := w.RouteViews[i]
-		s := core.DeviceUpdateStats(core.NewMemo(c.FIB), events)
+		s := core.DeviceUpdateStats(w.Cfg.memo(c.FIB), events)
+		w.Cfg.Obs.collectorDone()
 		return RouterRate{
 			Name:          c.Name,
 			Rate:          s.Rate(),
@@ -134,6 +135,7 @@ func RunFig8(w *World) Fig8Result {
 			Sessions:      len(c.Sessions),
 		}
 	})
+	w.Cfg.Obs.rows(len(res.Routers))
 	return res
 }
 
@@ -208,7 +210,8 @@ func RunSensitivity(w *World) (SensitivityResult, error) {
 	}
 	sort.Ints(days)
 	stdDevs := par.Map(w.Cfg.Parallel, len(w.RouteViews), func(i int) float64 {
-		memo := core.NewMemo(w.RouteViews[i].FIB)
+		defer w.Cfg.Obs.collectorDone()
+		memo := w.Cfg.memo(w.RouteViews[i].FIB)
 		var rates []float64
 		for _, d := range days {
 			rates = append(rates, core.DeviceUpdateStats(memo, byDay[d]).Rate())
@@ -224,7 +227,8 @@ func RunSensitivity(w *World) (SensitivityResult, error) {
 
 	// (2) The RIPE collector set.
 	ripeRates := par.Map(w.Cfg.Parallel, len(w.RIPE), func(i int) float64 {
-		return core.DeviceUpdateStats(core.NewMemo(w.RIPE[i].FIB), events).Rate()
+		defer w.Cfg.Obs.collectorDone()
+		return core.DeviceUpdateStats(w.Cfg.memo(w.RIPE[i].FIB), events).Rate()
 	})
 	ripeCDF := stats.NewCDF(ripeRates)
 	res.RIPEMedian = ripeCDF.Median()
@@ -246,7 +250,8 @@ func RunSensitivity(w *World) (SensitivityResult, error) {
 	all := append(append([]*bgp.Collector{}, w.RouteViews...), w.RIPE...)
 	type ratePair struct{ nomad, imap float64 }
 	pairs := par.Map(w.Cfg.Parallel, len(all), func(i int) ratePair {
-		memo := core.NewMemo(all[i].FIB)
+		defer w.Cfg.Obs.collectorDone()
+		memo := w.Cfg.memo(all[i].FIB)
 		return ratePair{
 			nomad: core.DeviceUpdateStats(memo, events).Rate(),
 			imap:  core.DeviceUpdateStats(memo, imapEvents).Rate(),

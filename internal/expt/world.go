@@ -46,6 +46,11 @@ type Config struct {
 	// paper).
 	IMAPUsers int
 	IMAPDays  int
+
+	// Obs, when non-nil, attaches observability counters to the drivers
+	// (progress, rows, memo hit rates). Purely additive: results are
+	// byte-identical with Obs set or nil.
+	Obs *Metrics
 }
 
 // DefaultConfig is the full paper-scale configuration.

@@ -25,11 +25,12 @@ import (
 // All wrappers sharing an Env draw from the same seeded stream under one
 // lock, which is what makes single-client chaos runs fully deterministic.
 type Env struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	sleep func(time.Duration)
-	trace []string
-	stats Stats
+	mu      sync.Mutex
+	rng     *rand.Rand
+	sleep   func(time.Duration)
+	trace   []string
+	stats   Stats
+	metrics Metrics // value copy installed by SetMetrics; nil handles no-op
 }
 
 // Stats counts injected faults, by kind.

@@ -70,22 +70,27 @@ func (e *Env) decidePacket(f PacketFaults, dir string, n int) packetDecision {
 	switch {
 	case d.drop:
 		e.stats.Dropped++
+		e.metrics.Dropped.Inc()
 		e.record("%s drop %dB", dir, n)
 	case d.reorder:
 		e.stats.Reordered++
+		e.metrics.Reordered.Inc()
 		e.record("%s reorder %dB", dir, n)
 	}
 	if !d.drop {
 		if d.dup {
 			e.stats.Duplicated++
+			e.metrics.Duplicated.Inc()
 			e.record("%s dup %dB", dir, n)
 		}
 		if d.trunc {
 			e.stats.Truncated++
+			e.metrics.Truncated.Inc()
 			e.record("%s trunc %dB->%dB", dir, n, min(n, d.truncTo))
 		}
 		if d.delay > 0 {
 			e.stats.Delayed++
+			e.metrics.Delayed.Inc()
 			e.record("%s delay %v", dir, d.delay)
 		}
 	}

@@ -23,7 +23,7 @@ type StreamFaults struct {
 	// [ResetAfterMin, ResetAfterMax] (bytes read+written through the
 	// wrapper); once spent, the underlying conn is closed and ops return
 	// ErrReset — a mid-stream RST.
-	Reset                       float64
+	Reset                        float64
 	ResetAfterMin, ResetAfterMax int
 	// Stall pauses the connection once, before its first I/O, for
 	// StallFor via the Env's sleep hook — a black-holed peer that needs a
@@ -64,13 +64,16 @@ func (e *Env) decideConn(f StreamFaults) connDecision {
 	switch {
 	case d.refuse:
 		e.stats.Refused++
+		e.metrics.Refused.Inc()
 		e.record("conn refuse")
 	case d.resetAfter >= 0:
 		e.stats.Reset++
+		e.metrics.Reset.Inc()
 		e.record("conn reset-after %dB", d.resetAfter)
 	}
 	if !d.refuse && d.stall {
 		e.stats.Stalled++
+		e.metrics.Stalled.Inc()
 		e.record("conn stall %v", f.StallFor)
 	}
 	return d
@@ -173,6 +176,7 @@ func (c *Conn) post(n int) {
 		d := time.Duration(float64(n) / float64(c.faults.BytesPerSec) * float64(time.Second))
 		c.env.mu.Lock()
 		c.env.stats.Throttled++
+		c.env.metrics.Throttled.Inc()
 		c.env.mu.Unlock()
 		c.env.doSleep(d)
 	}

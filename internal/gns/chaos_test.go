@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"locind/internal/faultnet"
+	"locind/internal/obs"
 	"locind/internal/reliable"
 )
 
@@ -22,6 +23,27 @@ type chaosResult struct {
 	finalVer   map[string]uint64 // version seen by the final lookup
 	attempts   int64
 	trace      []string
+
+	injected faultnet.Stats // the Env's own fault counters
+	observed faultnet.Stats // the same counts as scraped from obs handles
+	srv      *ServerMetrics
+	cli      *reliable.Metrics
+}
+
+// observedStats reads the obs counters back into a Stats so chaos tests can
+// assert injected == observed field-for-field.
+func observedStats(m *faultnet.Metrics) faultnet.Stats {
+	return faultnet.Stats{
+		Dropped:    int(m.Dropped.Value()),
+		Duplicated: int(m.Duplicated.Value()),
+		Reordered:  int(m.Reordered.Value()),
+		Truncated:  int(m.Truncated.Value()),
+		Delayed:    int(m.Delayed.Value()),
+		Refused:    int(m.Refused.Value()),
+		Reset:      int(m.Reset.Value()),
+		Stalled:    int(m.Stalled.Value()),
+		Throttled:  int(m.Throttled.Value()),
+	}
 }
 
 // runChaosScenario replays a fixed update/lookup workload against a GNS
@@ -38,15 +60,23 @@ func runChaosScenario(t *testing.T, faults faultnet.PacketFaults, envSeed, jitte
 	}
 	env := faultnet.NewEnv(envSeed)
 	env.SetSleep(func(time.Duration) {})
-	srv := ServePacketConn(context.Background(), svc, faultnet.WrapPacketConn(pc, env, faults, faults))
+	// Every chaos run carries live obs instrumentation: besides feeding the
+	// injected-equals-observed assertion, this proves metrics recording
+	// never perturbs the deterministic replay.
+	reg := obs.NewRegistry()
+	fm := faultnet.NewMetrics(reg)
+	env.SetMetrics(fm)
+	sm := NewServerMetrics(reg)
+	srv := ServePacketConnObserved(context.Background(), svc, faultnet.WrapPacketConn(pc, env, faults, faults), sm)
 	defer srv.Close()
 
 	c := NewClient(srv.Addr())
-	c.Timeout = 40 * time.Millisecond
+	c.Timeout = 15 * time.Millisecond // localhost RTT is microseconds; this only caps the wait on drops
 	c.Retries = 15
 	c.Backoff = reliable.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Jitter: 0.5}
 	c.Rand = rand.New(rand.NewSource(jitterSeed))
 	c.Sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	c.Metrics = reliable.NewMetrics(reg, "gns")
 
 	ctx := context.Background()
 	res := chaosResult{
@@ -79,6 +109,10 @@ func runChaosScenario(t *testing.T, faults faultnet.PacketFaults, envSeed, jitte
 	}
 	res.attempts = c.Attempts()
 	res.trace = env.Trace()
+	res.injected = env.Stats()
+	res.observed = observedStats(fm)
+	res.srv = sm
+	res.cli = c.Metrics
 	return res
 }
 
@@ -137,6 +171,41 @@ func TestChaosDeterministicReplay(t *testing.T) {
 			t.Fatalf("%q: final versions diverged: %d vs %d",
 				name, a.finalVer[name], b.finalVer[name])
 		}
+	}
+}
+
+// TestChaosInjectedEqualsObserved is the observability ground-truth check:
+// every fault the Env injects must surface, one for one, in the obs
+// counters — the live /metrics view of a chaos run agrees exactly with the
+// simulator's internal ledger.
+func TestChaosInjectedEqualsObserved(t *testing.T) {
+	// Only retry-transparent faults: a truncated request would draw a
+	// structured "bad request" answer, which the client rightly treats as
+	// authoritative rather than retrying.
+	faults := faultnet.PacketFaults{Drop: 0.2, Dup: 0.1, Delay: 0.1, DelayMax: time.Millisecond}
+	res := runChaosScenario(t, faults, 11, 12)
+	if res.injected == (faultnet.Stats{}) {
+		t.Fatal("no faults injected; the assertion would be vacuous")
+	}
+	if res.observed != res.injected {
+		t.Fatalf("obs counters diverged from injected faults:\nobserved %+v\ninjected %+v",
+			res.observed, res.injected)
+	}
+	// The serve loop's own ledger must line up with the workload: every
+	// datagram that survived the fault layer was counted, dispatched, and
+	// matched by the client's attempt counter.
+	if got := res.srv.Lookups.Value() + res.srv.Updates.Value(); got != res.srv.Requests.Value() {
+		t.Fatalf("dispatched %d of %d requests", got, res.srv.Requests.Value())
+	}
+	if res.srv.Inflight.Value() != 0 {
+		t.Fatalf("inflight gauge left at %d", res.srv.Inflight.Value())
+	}
+	if res.cli.Attempts.Value() != res.attempts {
+		t.Fatalf("reliable metrics counted %d attempts, client counted %d",
+			res.cli.Attempts.Value(), res.attempts)
+	}
+	if res.cli.Retries.Value() == 0 {
+		t.Fatal("a lossy run must have retried at least once")
 	}
 }
 

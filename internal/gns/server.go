@@ -37,9 +37,10 @@ const maxDatagram = 8192
 // the same interaction pattern as DNS. The transport is any
 // net.PacketConn, so chaos tests interpose a faultnet wrapper.
 type Server struct {
-	svc  *Service
-	conn net.PacketConn
-	done chan struct{}
+	svc     *Service
+	conn    net.PacketConn
+	done    chan struct{}
+	metrics *ServerMetrics
 
 	closeOnce sync.Once
 	closeErr  error
@@ -60,7 +61,13 @@ func Serve(ctx context.Context, svc *Service, addr string) (*Server, error) {
 // seam where fault-injecting wrappers plug in. Cancelling ctx shuts the
 // server down as if Close had been called.
 func ServePacketConn(ctx context.Context, svc *Service, conn net.PacketConn) *Server {
-	s := &Server{svc: svc, conn: conn, done: make(chan struct{})}
+	return ServePacketConnObserved(ctx, svc, conn, nil)
+}
+
+// ServePacketConnObserved is ServePacketConn with serve-loop metrics
+// attached; m may be nil for an unobserved server.
+func ServePacketConnObserved(ctx context.Context, svc *Service, conn net.PacketConn, m *ServerMetrics) *Server {
+	s := &Server{svc: svc, conn: conn, done: make(chan struct{}), metrics: m}
 	go s.loop()
 	go func() {
 		select {
@@ -95,10 +102,17 @@ func (s *Server) loop() {
 	// peer sent an oversized (or kernel-truncated) request, which gets a
 	// structured rejection instead of a silently mangled parse.
 	buf := make([]byte, maxDatagram+1)
+	m := s.m()
 	for {
 		n, peer, err := s.conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
+		}
+		m.Requests.Inc()
+		m.Inflight.Add(1)
+		var start time.Duration
+		if m.Clock != nil {
+			start = m.Clock()
 		}
 		var resp Response
 		if n > maxDatagram {
@@ -106,6 +120,13 @@ func (s *Server) loop() {
 		} else {
 			resp = s.handle(buf[:n])
 		}
+		if resp.Err != "" {
+			m.Errors.Inc()
+		}
+		if m.Clock != nil {
+			m.Latency.Observe((m.Clock() - start).Seconds())
+		}
+		m.Inflight.Add(-1)
 		out, err := json.Marshal(resp)
 		if err != nil {
 			// A response that cannot be marshalled still deserves an
@@ -131,6 +152,7 @@ func (s *Server) handle(raw []byte) (resp Response) {
 	}
 	switch req.Op {
 	case "lookup":
+		s.m().Lookups.Inc()
 		rec, err := s.svc.Lookup(req.Name)
 		if err != nil {
 			return Response{Err: err.Error()}
@@ -141,6 +163,7 @@ func (s *Server) handle(raw []byte) (resp Response) {
 		}
 		return out
 	case "update":
+		s.m().Updates.Inc()
 		addrs := make([]netaddr.Addr, 0, len(req.Addrs))
 		for _, sa := range req.Addrs {
 			a, err := netaddr.ParseAddr(sa)
@@ -184,6 +207,9 @@ type Client struct {
 	// lookup exhausts its retries, marking the Record's provenance via
 	// StaleServed.
 	AllowStale bool
+	// Metrics, when non-nil, counts the retry loop's activity (attempts,
+	// retries, backoff, give-ups) into obs handles.
+	Metrics *reliable.Metrics
 
 	cache    reliable.Cache[string, Record]
 	attempts atomic.Int64
@@ -209,6 +235,7 @@ func (c *Client) policy() reliable.Policy {
 		Rand:        c.Rand,
 		Budget:      c.Budget,
 		Sleep:       c.Sleep,
+		Metrics:     c.Metrics,
 	}
 }
 

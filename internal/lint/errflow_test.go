@@ -9,5 +9,5 @@ import (
 
 func TestErrflow(t *testing.T) {
 	linttest.Run(t, "testdata/errflow", lint.Errflow,
-		"locind/internal/exptfix")
+		"locind/internal/exptfix", "locind/internal/obsfix")
 }

@@ -1,0 +1,22 @@
+// Package obs is a fixture stub standing in for the real
+// locind/internal/obs: errflow exempts writes to *obs.Ring (the flight
+// recorder documents that Write always reports full success), and the
+// golden test needs the type at its real import path for typeString to
+// render "*locind/internal/obs.Ring".
+package obs
+
+// Ring mimics the real flight recorder's Writer contract.
+type Ring struct{}
+
+// Write always reports full success, like the real recorder.
+func (r *Ring) Write(p []byte) (int, error) { return len(p), nil }
+
+// Counter mimics the nil-safe metric handle.
+type Counter struct{ v int64 }
+
+// Inc records one, a no-op on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}

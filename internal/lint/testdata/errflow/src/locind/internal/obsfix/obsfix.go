@@ -1,0 +1,25 @@
+// Package obsfix is the errflow golden fixture for instrumented code: the
+// obs flight recorder is a sanctioned error-free sink, so progress lines
+// logged into it need no error ceremony — while the same Fprintf aimed at
+// a real file still fires.
+package obsfix
+
+import (
+	"fmt"
+	"os"
+
+	"locind/internal/obs"
+)
+
+// Progress logs milestones into the flight recorder. *obs.Ring writes
+// cannot fail, so errflow stays quiet.
+func Progress(ring *obs.Ring, done, total int) {
+	fmt.Fprintf(ring, "progress %d/%d\n", done, total)
+	fmt.Fprintln(ring, "checkpoint")
+}
+
+// Persist writes the same line to a real file, which can fail: the exact
+// shape that stays exempt for the Ring fires here.
+func Persist(f *os.File, done, total int) {
+	fmt.Fprintf(f, "progress %d/%d\n", done, total) // want `fmt\.Fprintf returns an error that is discarded here`
+}

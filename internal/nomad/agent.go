@@ -43,6 +43,9 @@ type Agent struct {
 	Rand *rand.Rand
 	// Sleep overrides the inter-attempt wait (virtual clock hook).
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when non-nil, counts the retry loop's activity into obs
+	// handles shared across the fleet.
+	Metrics *reliable.Metrics
 
 	deviceID string
 	pending  []Entry // records not yet sealed into a batch
@@ -86,6 +89,7 @@ func (a *Agent) policy() reliable.Policy {
 		Backoff:     a.Backoff,
 		Rand:        a.Rand,
 		Sleep:       a.Sleep,
+		Metrics:     a.Metrics,
 	}
 }
 
@@ -184,6 +188,12 @@ func (a *Agent) Flush(ctx context.Context) (int, error) {
 // at baseURL, with at most parallel agents in flight. It returns the total
 // number of uploaded records. ctx cancels the whole fleet.
 func RunFleet(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
+	return RunFleetObserved(ctx, baseURL, dt, parallel, nil)
+}
+
+// RunFleetObserved is RunFleet with shared retry-loop metrics attached to
+// every agent; m may be nil for an unobserved fleet.
+func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int, m *reliable.Metrics) (int, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -202,6 +212,7 @@ func RunFleet(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, par
 			defer wg.Done()
 			defer func() { <-sem }()
 			agent := NewAgent(NewClient(baseURL), fmt.Sprintf("device-%d", u.ID))
+			agent.Metrics = m
 			n, err := agent.Replay(ctx, u)
 			mu.Lock()
 			defer mu.Unlock()

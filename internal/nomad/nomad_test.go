@@ -248,7 +248,7 @@ func TestAgentUploadRetryAndStoreAndForward(t *testing.T) {
 	dt := smallTrace(t)
 	u := &dt.Users[0]
 	agent := NewAgent(NewClient(ts.URL), "device-0")
-	agent.UploadRetries = 5          // absorb all three transient failures in one dwell
+	agent.UploadRetries = 5            // absorb all three transient failures in one dwell
 	agent.Backoff = reliable.Backoff{} // no waiting in tests
 	uploaded, err := agent.Replay(context.Background(), u)
 	if err != nil {

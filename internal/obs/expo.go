@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name and series by label
+// signature, so consecutive scrapes of an idle registry are byte-identical.
+// The whole exposition is rendered into b; exposition is a cold path and
+// the in-memory builder cannot fail, which keeps callers' error handling
+// trivial.
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ordered := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].labels < ordered[j].labels
+	})
+	lastFamily := ""
+	for _, s := range ordered {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if s.help != "" {
+				fmt.Fprintf(b, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(b, "# TYPE %s %s\n", s.name, map[metricKind]string{
+				kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram",
+			}[s.kind])
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s%s %d\n", s.name, wrapLabels(s.labels), s.c.Value())
+		case kindGauge:
+			fmt.Fprintf(b, "%s%s %d\n", s.name, wrapLabels(s.labels), s.g.Value())
+		case kindHistogram:
+			writeHistogram(b, s)
+		}
+	}
+}
+
+func wrapLabels(ls string) string {
+	if ls == "" {
+		return ""
+	}
+	return "{" + ls + "}"
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(b *strings.Builder, s *series) {
+	h := s.h
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, wrapLabels(joinLabels(s.labels, `le="`+formatFloat(ub)+`"`)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, wrapLabels(joinLabels(s.labels, `le="+Inf"`)), h.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", s.name, wrapLabels(s.labels), formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", s.name, wrapLabels(s.labels), h.Count())
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, no exponent for typical bucket bounds.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Snapshot returns the registry as a plain map for programmatic inspection
+// (the expvar bridge and BENCH_*.json emitters use this). Histograms report
+// count and sum under derived keys.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.series {
+		key := s.name + wrapLabels(s.labels)
+		switch s.kind {
+		case kindCounter:
+			out[key] = s.c.Value()
+		case kindGauge:
+			out[key] = s.g.Value()
+		case kindHistogram:
+			out[key+"_count"] = s.h.Count()
+			out[key+"_sum"] = s.h.Sum()
+		}
+	}
+	return out
+}
+
+var expvarOnce sync.Once
+
+// BridgeExpvar publishes the registry under the expvar name "locind_obs",
+// so /debug/vars carries the same numbers as /metrics. expvar names are
+// process-global and Publish panics on reuse, so only the first bridged
+// registry wins; later calls are no-ops (the daemons bridge exactly one).
+func BridgeExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("locind_obs", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}

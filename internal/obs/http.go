@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// Handler mounts the introspection surface on a private mux:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/vars     expvar JSON (reg is bridged in under "locind_obs")
+//	/debug/pprof/*  the standard runtime profiles
+//	/debug/traces   tr's retained spans as JSON (if tr is non-nil)
+//	/debug/log      log's retained flight-recorder tail (if log is non-nil)
+//	/healthz        200 ok
+//
+// Nothing registers on http.DefaultServeMux, so tests can mount several
+// handlers in one process.
+func Handler(reg *Registry, tr *Tracer, log *Ring) http.Handler {
+	BridgeExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(b.String())) //nolint:errcheck // a dead scraper is its own problem
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		tr.WriteJSON(&b)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(b.String())) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/log", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(log.Bytes()) //nolint:errcheck
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	return mux
+}
+
+// Server is a bound introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds addr and serves h (Handler(reg, tr) normally) in the
+// background until Close or ctx cancellation. It returns once the socket
+// is bound, so callers can immediately advertise Addr.
+func Serve(ctx context.Context, addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}, closed: make(chan struct{})}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Close() //nolint:errcheck // close error is observable via the next Close
+		case <-s.closed:
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.srv.Close()
+		close(s.closed)
+	})
+	return s.closeErr
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIntrospectionEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("locind_test_requests_total", "requests").Add(7)
+	tr := NewTracer(1, 16)
+	tr.Start("probe").End()
+	log := NewRing(1024)
+	log.Write([]byte("hello recorder\n")) //nolint:errcheck // Ring writes cannot fail
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := Serve(ctx, "127.0.0.1:0", Handler(reg, tr, log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "locind_test_requests_total 7") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["locind_obs"]; !ok {
+		t.Fatalf("/debug/vars missing bridged registry; keys: %v", body)
+	}
+	code, body = get(t, base+"/debug/traces")
+	if code != 200 || !strings.Contains(body, `"name":"probe"`) {
+		t.Fatalf("/debug/traces = %d: %s", code, body)
+	}
+	code, body = get(t, base+"/debug/log")
+	if code != 200 || !strings.Contains(body, "hello recorder") {
+		t.Fatalf("/debug/log = %d: %s", code, body)
+	}
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get(t, base+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz = %d", code)
+	}
+
+	// ctx cancellation tears the endpoint down.
+	cancel()
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("close: %v", err)
+	}
+}

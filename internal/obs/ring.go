@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory flight recorder: an io.Writer that keeps the
+// last Cap bytes written and never fails. Instrumented code can
+// fmt.Fprintf progress lines into it without error handling — the errflow
+// analyzer knows a *obs.Ring write cannot fail — and the daemons expose
+// the retained tail at /debug/log. Safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []byte
+	cap  int
+	next int
+	full bool
+}
+
+// NewRing builds a recorder retaining the last capacity bytes (values
+// below 1 default to 64 KiB).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 64 << 10
+	}
+	return &Ring{buf: make([]byte, 0, capacity), cap: capacity}
+}
+
+// Write appends p, evicting the oldest bytes once capacity is exceeded.
+// It always reports full success; a nil receiver discards everything.
+func (r *Ring) Write(p []byte) (int, error) {
+	if r == nil {
+		return len(p), nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range p {
+		if len(r.buf) < r.cap {
+			r.buf = append(r.buf, b)
+		} else {
+			r.buf[r.next] = b
+			r.full = true
+		}
+		r.next = (r.next + 1) % r.cap
+	}
+	return len(p), nil
+}
+
+// Bytes returns the retained tail, oldest byte first.
+func (r *Ring) Bytes() []byte {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]byte(nil), r.buf...)
+	}
+	out := make([]byte, 0, r.cap)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records spans with deterministic IDs. A span ID is the FNV-1a
+// hash of (tracer seed, span name, labels, per-tracer sequence number) —
+// no randomness, no clock — so two runs of the same workload under the
+// same seed produce identical span IDs, and a trace from a chaos replay
+// can be diffed line-for-line against the original. The determinism
+// analyzer stays green because nothing here reads the wall clock: span
+// durations come from an injected monotonic clock (SetNow), and without
+// one they are zero — structure-only traces, still fully replayable.
+//
+// The tracer keeps the most recent Cap spans in a ring; recording is
+// mutex-guarded (tracing is per-request/per-experiment, not per-lookup,
+// so it is never on a zero-allocation hot path).
+type Tracer struct {
+	mu   sync.Mutex
+	seed uint64
+	seq  uint64
+	cap  int
+	now  func() time.Duration
+	ring []SpanRecord
+	next int // ring write cursor
+	full bool
+}
+
+// SpanRecord is one finished (or still-open) span.
+type SpanRecord struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Labels []string      `json:"labels,omitempty"`
+	Start  time.Duration `json:"start_ns"`
+	Dur    time.Duration `json:"dur_ns"`
+	Open   bool          `json:"open,omitempty"`
+}
+
+// Span is a live span handle. End is a no-op on a nil receiver, so
+// disabled tracing (nil *Tracer) costs one nil check per site.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	name   string
+	labels []string
+	parent uint64
+	start  time.Duration
+}
+
+// NewTracer builds a tracer whose span IDs derive from seed. capacity
+// bounds the retained ring (values below 1 default to 4096).
+func NewTracer(seed int64, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 4096
+	}
+	return &Tracer{seed: uint64(seed), cap: capacity, ring: make([]SpanRecord, 0, capacity)}
+}
+
+// SetNow installs a monotonic clock used for span start/duration stamps.
+// Daemons pass a closure over the wall clock; simulations either leave it
+// unset (durations zero) or pass simulated time. nil clears the clock.
+func (t *Tracer) SetNow(fn func() time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = fn
+	t.mu.Unlock()
+}
+
+// spanID derives the deterministic ID for the seq-th span named name.
+func (t *Tracer) spanID(name string, labels []string, seq uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(t.seed >> (8 * i))
+		buf[8+i] = byte(seq >> (8 * i))
+	}
+	h.Write(buf[:])       //nolint:errcheck // hash.Hash.Write never fails
+	h.Write([]byte(name)) //nolint:errcheck
+	for _, l := range labels {
+		h.Write([]byte{0}) //nolint:errcheck
+		h.Write([]byte(l)) //nolint:errcheck
+	}
+	id := h.Sum64()
+	if id == 0 {
+		id = 1 // 0 is "no parent"
+	}
+	return id
+}
+
+// Start opens a root span. Nil tracer → nil span, every operation on
+// which is a no-op.
+func (t *Tracer) Start(name string, labels ...string) *Span {
+	return t.start(name, 0, labels)
+}
+
+func (t *Tracer) start(name string, parent uint64, labels []string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	seq := t.seq
+	t.seq++
+	var start time.Duration
+	if t.now != nil {
+		start = t.now()
+	}
+	t.mu.Unlock()
+	return &Span{
+		t: t, id: t.spanID(name, labels, seq), name: name,
+		labels: labels, parent: parent, start: start,
+	}
+}
+
+// Child opens a span parented on s. Nil-safe: a child of a nil span is nil.
+func (s *Span) Child(name string, labels ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(name, s.id, labels)
+}
+
+// ID returns the deterministic span ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// End closes the span and commits it to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name, Labels: s.labels, Start: s.start,
+	}
+	if t.now != nil {
+		rec.Dur = t.now() - s.start
+	}
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.full = true
+	}
+	t.next = (t.next + 1) % t.cap
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring...)
+	}
+	out := make([]SpanRecord, 0, t.cap)
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteJSON renders the retained spans as a JSON array into b — the
+// /debug/traces payload.
+func (t *Tracer) WriteJSON(b *strings.Builder) {
+	spans := t.Spans()
+	if spans == nil {
+		spans = []SpanRecord{}
+	}
+	enc, err := json.Marshal(spans)
+	if err != nil {
+		// SpanRecord has no unmarshalable fields; this is unreachable, but a
+		// truncated debug payload beats a panic in an introspection handler.
+		fmt.Fprintf(b, `{"error":%q}`, err.Error())
+		return
+	}
+	b.Write(enc) //nolint:errcheck // strings.Builder cannot fail
+}

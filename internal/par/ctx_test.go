@@ -1,0 +1,81 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"locind/internal/obs"
+)
+
+// TestForEachCtxDrainsOnCancel: cancelling mid-run stops new claims but
+// every in-flight call finishes — no abandoned work, no goroutine leaks,
+// and the pool reports the cancellation.
+func TestForEachCtxDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	err := ForEachCtx(ctx, 4, 100, func(i int) {
+		started.Add(1)
+		once.Do(func() {
+			cancel() // cancellation lands while work is in flight
+			close(release)
+		})
+		<-release
+		finished.Add(1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if started.Load() != finished.Load() {
+		t.Fatalf("pool abandoned work: started %d, finished %d", started.Load(), finished.Load())
+	}
+	if started.Load() >= 100 {
+		t.Fatal("cancellation did not stop new claims")
+	}
+}
+
+func TestForEachCtxRunsAllWithoutCancel(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachCtx(context.Background(), 4, 50, func(int) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d of 50", ran.Load())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran.Store(0)
+	if err := ForEachCtx(ctx, 4, 50, func(int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled ctx still ran %d items", ran.Load())
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	SetMetrics(m)
+	defer SetMetrics(nil)
+	ForEach(4, 30, func(int) {})
+	if m.Completed.Value() != 30 {
+		t.Fatalf("completed = %d", m.Completed.Value())
+	}
+	if m.QueueDepth.Value() != 0 || m.Busy.Value() != 0 {
+		t.Fatalf("idle pool left queue=%d busy=%d", m.QueueDepth.Value(), m.Busy.Value())
+	}
+	// A cancelled run zeroes the queue gauge for the items never claimed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ForEachCtx(ctx, 4, 30, func(int) {}) //nolint:errcheck // the gauge is the assertion
+	if m.QueueDepth.Value() != 0 {
+		t.Fatalf("cancelled run left queue depth %d", m.QueueDepth.Value())
+	}
+	if m.Completed.Value() != 30 {
+		t.Fatalf("cancelled run completed %d extra items", m.Completed.Value()-30)
+	}
+}

@@ -7,10 +7,53 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"locind/internal/obs"
 )
+
+// Metrics is the pool's observability surface, shared by every ForEach in
+// the process once installed with SetMetrics. Handles are nil-safe, so the
+// zero value records nothing.
+type Metrics struct {
+	// QueueDepth is the number of fanned-out items not yet claimed.
+	QueueDepth *obs.Gauge
+	// Busy is the number of workers currently running fn.
+	Busy *obs.Gauge
+	// Completed counts fn invocations that finished.
+	Completed *obs.Counter
+}
+
+// NewMetrics registers the pool families on reg. A nil registry yields
+// all-nil handles.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		QueueDepth: reg.Gauge("locind_par_queue_depth", "fanned-out items not yet claimed"),
+		Busy:       reg.Gauge("locind_par_busy_workers", "workers currently running a task"),
+		Completed:  reg.Counter("locind_par_completed_total", "tasks finished"),
+	}
+}
+
+// liveMetrics is swapped atomically so instrumentation can be installed
+// (or detached) without synchronizing with in-flight pools.
+var liveMetrics atomic.Pointer[Metrics]
+
+// noMetrics backs uninstrumented runs; its nil handles make every record a
+// predictable-branch no-op.
+var noMetrics = &Metrics{}
+
+// SetMetrics installs m as the process-wide pool metrics; nil detaches.
+func SetMetrics(m *Metrics) { liveMetrics.Store(m) }
+
+func metricsHandles() *Metrics {
+	if m := liveMetrics.Load(); m != nil {
+		return m
+	}
+	return noMetrics
+}
 
 // Workers resolves a parallelism knob: n itself when positive, GOMAXPROCS
 // otherwise. Every knob in the repo (expt.Config.Parallel, locind's
@@ -27,8 +70,55 @@ func Workers(n int) int {
 // finished. fn must be safe for concurrent invocation with distinct i; with
 // workers == 1 everything runs on the calling goroutine in index order.
 func ForEach(workers, n int, fn func(i int)) {
+	forEach(nil, workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: when ctx is done,
+// workers stop claiming new indices, in-flight calls run to completion (the
+// pool drains cleanly — fn is never abandoned mid-item), and the context's
+// error is returned. A nil error means every index ran.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forEach(ctx.Done(), workers, n, fn)
+	return ctx.Err()
+}
+
+// forEach is the shared fan-out core. A nil done channel means no
+// cancellation and keeps the uncancellable path select-free.
+func forEach(done <-chan struct{}, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	m := metricsHandles()
+	m.QueueDepth.Add(int64(n))
+	var next atomic.Int64
+	defer func() {
+		// Zero out whatever cancellation left unclaimed.
+		claimed := next.Load()
+		if claimed > int64(n) {
+			claimed = int64(n)
+		}
+		m.QueueDepth.Add(claimed - int64(n))
+	}()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	run := func(i int) {
+		m.QueueDepth.Add(-1)
+		m.Busy.Add(1)
+		fn(i)
+		m.Busy.Add(-1)
+		m.Completed.Inc()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -36,22 +126,28 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if cancelled() {
+				return
+			}
+			next.Add(1)
+			run(i)
 		}
 		return
 	}
-	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				run(i)
 			}
 		}()
 	}

@@ -1,0 +1,74 @@
+package reliable
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Sleeper is the clock dependency of a retry loop: something that can pause
+// for a duration while honouring cancellation. Policy.Sleep accepts the
+// Sleep method of any implementation, so production code runs on real
+// timers while tests run on a FakeClock and assert the exact schedule.
+type Sleeper interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// FakeClock is a virtual clock for tests: Sleep returns immediately,
+// records the requested pause, and advances Now by it. It is safe for
+// concurrent use, though schedule assertions are only meaningful when one
+// goroutine owns the retry loop.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Duration
+	sleeps []time.Duration
+}
+
+// NewFakeClock returns a virtual clock starting at zero.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+// Sleep records d, advances the clock, and returns without blocking. A
+// cancelled ctx is honoured first, mirroring the real timer path.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	c.now += d
+	return nil
+}
+
+// SleepFor is the context-free form, assignable to faultnet's Env.SetSleep.
+func (c *FakeClock) SleepFor(d time.Duration) {
+	c.Sleep(context.Background(), d) //nolint:errcheck // background ctx never cancels
+}
+
+// Now returns the accumulated virtual time.
+func (c *FakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleeps returns every pause taken so far, in order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+var _ Sleeper = (*FakeClock)(nil)
+var _ Sleeper = realClock{}
+
+// realClock is the production Sleeper, backed by sleepCtx.
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error { return sleepCtx(ctx, d) }
+
+// RealClock returns the production Sleeper, a timer that honours ctx.
+func RealClock() Sleeper { return realClock{} }

@@ -1,0 +1,56 @@
+package reliable
+
+import (
+	"time"
+
+	"locind/internal/obs"
+)
+
+// Metrics is the observability surface of the retry loop. Every field is a
+// nil-safe obs handle, so the zero value (and a nil *Metrics on Policy)
+// records nothing and costs nothing — the obs-off configuration.
+type Metrics struct {
+	// Attempts counts every attempt made, first tries included.
+	Attempts *obs.Counter
+	// Retries counts attempts beyond the first.
+	Retries *obs.Counter
+	// GiveUps counts operations that exhausted attempts or budget.
+	GiveUps *obs.Counter
+	// Sleeps counts backoff pauses actually taken (delay > 0).
+	Sleeps *obs.Counter
+	// BackoffNanos accumulates the nanoseconds of backoff scheduled.
+	BackoffNanos *obs.Counter
+}
+
+// NewMetrics registers the reliable counter families on reg, labelled with
+// the owning subsystem (gns, nomad, vantage, ...) so the daemons share one
+// family per verb. A nil registry yields all-nil handles — recording is free.
+func NewMetrics(reg *obs.Registry, subsystem string) *Metrics {
+	l := []string{"subsystem", subsystem}
+	return &Metrics{
+		Attempts:     reg.Counter("locind_reliable_attempts_total", "attempts made, first tries included", l...),
+		Retries:      reg.Counter("locind_reliable_retries_total", "attempts beyond the first", l...),
+		GiveUps:      reg.Counter("locind_reliable_giveups_total", "operations that exhausted attempts or budget", l...),
+		Sleeps:       reg.Counter("locind_reliable_sleeps_total", "backoff pauses taken", l...),
+		BackoffNanos: reg.Counter("locind_reliable_backoff_nanos_total", "nanoseconds of backoff scheduled", l...),
+	}
+}
+
+// noMetrics stands in for a nil Policy.Metrics so Do never nil-checks on
+// the hot path; its nil handles make every record a no-op.
+var noMetrics = &Metrics{}
+
+func (m *Metrics) orNop() *Metrics {
+	if m == nil {
+		return noMetrics
+	}
+	return m
+}
+
+func (m *Metrics) retry(delay time.Duration) {
+	m.Retries.Inc()
+	m.BackoffNanos.Add(int64(delay))
+	if delay > 0 {
+		m.Sleeps.Inc()
+	}
+}

@@ -149,6 +149,9 @@ type Policy struct {
 	// OnRetry, when non-nil, observes every failed attempt that will be
 	// retried: its 0-based index, its error, and the pause chosen.
 	OnRetry func(attempt int, err error, delay time.Duration)
+	// Metrics, when non-nil, counts attempts/retries/give-ups into obs
+	// handles. Nil records nothing.
+	Metrics *Metrics
 }
 
 // Do runs op under the policy until it succeeds, exhausts attempts or
@@ -163,6 +166,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 	if sleep == nil {
 		sleep = sleepCtx
 	}
+	m := p.Metrics.orNop()
 	var lastErr error
 	for attempt := 0; attempt < max; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -175,6 +179,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 		if p.PerAttempt > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, p.PerAttempt)
 		}
+		m.Attempts.Inc()
 		err := op(attemptCtx)
 		if cancel != nil {
 			cancel()
@@ -184,15 +189,18 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 		}
 		lastErr = err
 		if IsPermanent(err) {
+			m.GiveUps.Inc()
 			return attempt + 1, err
 		}
 		if attempt+1 >= max {
 			break
 		}
 		if !p.Budget.Take() {
+			m.GiveUps.Inc()
 			return attempt + 1, fmt.Errorf("%w: %w", ErrBudgetExhausted, lastErr)
 		}
 		delay := p.Backoff.Delay(attempt, p.Rand)
+		m.retry(delay)
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err, delay)
 		}
@@ -202,6 +210,7 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 			}
 		}
 	}
+	m.GiveUps.Inc()
 	return max, fmt.Errorf("reliable: all %d attempts failed: %w", max, lastErr)
 }
 

@@ -158,6 +158,9 @@ type Campaign struct {
 	Rand *rand.Rand
 	// Sleep overrides the inter-attempt wait (virtual clock hook).
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when non-nil, counts every node's retry-loop activity into
+	// shared obs handles.
+	Metrics *reliable.Metrics
 
 	attempts atomic.Int64
 }
@@ -216,6 +219,7 @@ func (cp *Campaign) runNode(ctx context.Context, idx int, rng *rand.Rand, view V
 		Backoff:     cp.Backoff,
 		Rand:        rng,
 		Sleep:       cp.Sleep,
+		Metrics:     cp.Metrics,
 	}
 	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
 		return cp.attempt(ctx, idx, view, tls)
