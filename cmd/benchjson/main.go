@@ -9,10 +9,16 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson
+//	go run ./cmd/benchjson -compare [-threshold PCT] [-annotate] old.json new.json
 //
 // The output index is the first free BENCH_<n>.json in -dir (default:
 // the current directory), so successive runs append to the trajectory
 // rather than overwrite it.
+//
+// -compare diffs two snapshots from that trajectory and exits 3 when any
+// benchmark's ns/op grew past -threshold percent or the memo hit rate
+// dropped — the regression gate CI runs (non-blocking) against the newest
+// committed snapshot. -annotate adds GitHub Actions ::warning lines.
 package main
 
 import (
@@ -70,7 +76,27 @@ type snapshot struct {
 
 func main() {
 	dir := flag.String("dir", ".", "directory receiving BENCH_<n>.json")
+	doCompare := flag.Bool("compare", false, "compare two snapshots instead of recording one: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 10, "ns/op growth (percent) beyond which -compare flags a regression")
+	annotate := flag.Bool("annotate", false, "with -compare, emit GitHub Actions ::warning lines for regressions")
 	flag.Parse()
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold PCT] [-annotate] old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *annotate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			// A distinct exit code: CI wires this as a non-blocking
+			// annotation, operators can still gate hard on it if they want.
+			os.Exit(3)
+		}
+		return
+	}
 	if err := run(*dir); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

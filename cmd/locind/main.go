@@ -21,6 +21,9 @@
 //	             output is byte-identical either way, DESIGN.md §8)
 //	-obs.linger  keep the introspection endpoint up this long after
 //	             the experiments finish
+//	-report DIR  write a per-phase run profile (RUNREPORT.md +
+//	             runreport.json) into DIR; counter deltas are
+//	             deterministic for a fixed seed, timing columns are not
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -38,12 +42,14 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 0, "master seed (0 = config default)")
-	quick := flag.Bool("quick", false, "run at reduced scale")
-	out := flag.String("out", "", "directory to export raw data (trace CSV, RIB dumps, figure series)")
-	parallel := flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS); output is identical for any value")
-	obsAddr := flag.String("obs.addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address (empty = disabled)")
-	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection endpoint up this long after the experiments finish (lets scrapers reach a batch run)")
+	var o runOpts
+	flag.Int64Var(&o.seed, "seed", 0, "master seed (0 = config default)")
+	flag.BoolVar(&o.quick, "quick", false, "run at reduced scale")
+	flag.StringVar(&o.out, "out", "", "directory to export raw data (trace CSV, RIB dumps, figure series)")
+	flag.IntVar(&o.parallel, "parallel", 0, "evaluation worker count (0 = GOMAXPROCS); output is identical for any value")
+	flag.StringVar(&o.obsAddr, "obs.addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address (empty = disabled)")
+	flag.DurationVar(&o.obsLinger, "obs.linger", 0, "keep the introspection endpoint up this long after the experiments finish (lets scrapers reach a batch run)")
+	flag.StringVar(&o.report, "report", "", "directory to write the per-phase run profile into (RUNREPORT.md + runreport.json; empty = disabled)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -51,14 +57,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(args, *seed, *quick, *out, *parallel, *obsAddr, *obsLinger); err != nil {
+	if err := run(args, o); err != nil {
 		fmt.Fprintln(os.Stderr, "locind:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] [-parallel N] [-obs.addr HOST:PORT [-obs.linger D]] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: locind [-seed N] [-quick] [-parallel N] [-obs.addr HOST:PORT [-obs.linger D]] [-report DIR] <experiment>...
 
 experiments:
   table1       §5 analytic model: stretch vs update cost on toy topologies
@@ -85,7 +91,20 @@ var deviceExperiments = map[string]bool{
 	"sensitivity": true, "envelope": true, "ablate": true,
 }
 
-func run(args []string, seed int64, quick bool, out string, parallel int, obsAddr string, obsLinger time.Duration) error {
+// runOpts carries the flag-settable knobs of one invocation.
+type runOpts struct {
+	seed      int64
+	quick     bool
+	out       string
+	parallel  int
+	obsAddr   string
+	obsLinger time.Duration
+	report    string
+}
+
+func run(args []string, o runOpts) error {
+	seed, quick, out, parallel := o.seed, o.quick, o.out, o.parallel
+	obsAddr, obsLinger := o.obsAddr, o.obsLinger
 	want := map[string]bool{}
 	for _, a := range args {
 		a = strings.ToLower(a)
@@ -113,55 +132,81 @@ func run(args []string, seed int64, quick bool, out string, parallel int, obsAdd
 	cfg.Parallel = parallel
 
 	// Observability is strictly additive: the same seed renders the same
-	// bytes with or without the endpoint (obs_test.go holds the engine to
-	// that), so flipping -obs.addr on can never change a result.
+	// bytes with or without the endpoint or the profiler (obs_test.go holds
+	// the engine to that), so flipping -obs.addr or -report on can never
+	// change a result.
 	var tracer *obs.Tracer
 	var ring *obs.Ring
-	if obsAddr != "" {
+	var profiler *obs.Profiler
+	if obsAddr != "" || o.report != "" {
 		reg := obs.NewRegistry()
-		ring = obs.NewRing(0)
-		tracer = obs.NewTracer(cfg.Seed, 0)
-		begin := time.Now()
-		tracer.SetNow(func() time.Duration { return time.Since(begin) })
 		cfg.Obs = expt.NewMetrics(reg)
 		par.SetMetrics(par.NewMetrics(reg))
-		srv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
-		if err != nil {
-			return err
-		}
-		defer srv.Close() //nolint:errcheck // the process is exiting
-		defer func() {
-			if obsLinger > 0 {
-				fmt.Fprintf(os.Stderr, "obs: lingering %v on http://%s\n", obsLinger, srv.Addr())
-				time.Sleep(obsLinger)
+		begin := time.Now()
+		if obsAddr != "" {
+			ring = obs.NewRing(0)
+			tracer = obs.NewTracer(cfg.Seed, 0)
+			tracer.SetNow(func() time.Duration { return time.Since(begin) })
+			srv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
+			if err != nil {
+				return err
 			}
-		}()
-		fmt.Fprintf(os.Stderr, "obs: introspection on http://%s/metrics\n", srv.Addr())
+			defer srv.Close() //nolint:errcheck // the process is exiting
+			defer func() {
+				if obsLinger > 0 {
+					fmt.Fprintf(os.Stderr, "obs: lingering %v on http://%s\n", obsLinger, srv.Addr())
+					time.Sleep(obsLinger)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "obs: introspection on http://%s/metrics\n", srv.Addr())
+		}
+		if o.report != "" {
+			profiler = obs.NewProfiler(reg)
+			profiler.SetNow(func() time.Duration { return time.Since(begin) })
+			// The report is written even when an experiment fails partway:
+			// a profile of the phases that did run is exactly what you want
+			// when debugging the failure.
+			defer func() {
+				if err := writeReport(profiler, o.report); err != nil {
+					fmt.Fprintln(os.Stderr, "locind: writing run report:", err)
+				}
+			}()
+		}
 	}
 
 	if want["table1"] {
+		ph := profiler.Begin("table1")
 		n := 255
 		if quick {
 			n = 63
 		}
 		fmt.Println(expt.RunTable1(n, 100, 500, cfg.Seed).Render())
+		ph.End()
 	}
 	if want["netsim"] {
-		res, err := expt.RunNetsim(cfg.Seed)
+		ph := profiler.Begin("netsim")
+		err := func() error {
+			res, err := expt.RunNetsim(cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			traffic, err := expt.RunContentTraffic(cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(traffic.Render())
+			comp, err := expt.RunCompact(cfg.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(comp.Render())
+			return nil
+		}()
+		ph.End()
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Render())
-		traffic, err := expt.RunContentTraffic(cfg.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(traffic.Render())
-		comp, err := expt.RunCompact(cfg.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(comp.Render())
 	}
 
 	needWorld := out != ""
@@ -176,7 +221,9 @@ func run(args []string, seed int64, quick bool, out string, parallel int, obsAdd
 	fmt.Fprintf(os.Stderr, "building world (seed %d, %d ASes, %d users)...\n",
 		cfg.Seed, cfg.AS.Tier1+cfg.AS.Tier2+cfg.AS.Stubs, cfg.Device.Users)
 	buildSpan := tracer.Start("build-world")
+	buildPhase := profiler.Begin("build-world")
 	w, err := expt.BuildWorld(cfg)
+	buildPhase.End()
 	buildSpan.End()
 	if err != nil {
 		return err
@@ -207,55 +254,81 @@ func run(args []string, seed int64, quick bool, out string, parallel int, obsAdd
 			continue
 		}
 		span := tracer.Start("experiment", "name", k)
+		ph := profiler.Begin(k)
 		fmt.Fprintf(ring, "experiment %s start\n", k)
-		switch k {
-		case "fig6":
-			fmt.Println(expt.RunFig6(w).Render())
-		case "fig7":
-			fmt.Println(expt.RunFig7(w).Render())
-		case "fig8":
-			fmt.Println(ensure8().Render())
-		case "sensitivity":
-			res, err := expt.RunSensitivity(w)
-			if err != nil {
-				return err
+		err := func() error {
+			switch k {
+			case "fig6":
+				fmt.Println(expt.RunFig6(w).Render())
+			case "fig7":
+				fmt.Println(expt.RunFig7(w).Render())
+			case "fig8":
+				fmt.Println(ensure8().Render())
+			case "sensitivity":
+				res, err := expt.RunSensitivity(w)
+				if err != nil {
+					return err
+				}
+				fmt.Println(res.Render())
+			case "envelope":
+				fmt.Println(expt.RunEnvelope(w, ensure8(), ensure9()).Render())
+			case "fig9":
+				fmt.Println(ensure9().Render())
+			case "fig10":
+				fmt.Println(expt.RunFig10(w).Render())
+			case "fig11a":
+				fmt.Println(expt.RunFig11a(w).Render())
+			case "fig11b":
+				fmt.Println(expt.RunFig11bc(w, cdn.Popular).Render())
+			case "fig11c":
+				fmt.Println(expt.RunFig11bc(w, cdn.Unpopular).Render())
+			case "fig12":
+				fmt.Println(expt.RunFig12(w).Render())
+			case "ablate":
+				fmt.Println(expt.RunStrategyAblation(w).Render())
+				sweep, err := expt.RunSessionSweep(w, []int{2, 4, 8, 16, 24, 36})
+				if err != nil {
+					return err
+				}
+				fmt.Println(sweep.Render())
+				intra, err := expt.RunIntradomain(cfg.Seed)
+				if err != nil {
+					return err
+				}
+				fmt.Println(intra.Render())
 			}
-			fmt.Println(res.Render())
-		case "envelope":
-			fmt.Println(expt.RunEnvelope(w, ensure8(), ensure9()).Render())
-		case "fig9":
-			fmt.Println(ensure9().Render())
-		case "fig10":
-			fmt.Println(expt.RunFig10(w).Render())
-		case "fig11a":
-			fmt.Println(expt.RunFig11a(w).Render())
-		case "fig11b":
-			fmt.Println(expt.RunFig11bc(w, cdn.Popular).Render())
-		case "fig11c":
-			fmt.Println(expt.RunFig11bc(w, cdn.Unpopular).Render())
-		case "fig12":
-			fmt.Println(expt.RunFig12(w).Render())
-		case "ablate":
-			fmt.Println(expt.RunStrategyAblation(w).Render())
-			sweep, err := expt.RunSessionSweep(w, []int{2, 4, 8, 16, 24, 36})
-			if err != nil {
-				return err
-			}
-			fmt.Println(sweep.Render())
-			intra, err := expt.RunIntradomain(cfg.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Println(intra.Render())
+			return nil
+		}()
+		ph.End()
+		span.End()
+		if err != nil {
+			return err
 		}
 		fmt.Fprintf(ring, "experiment %s done\n", k)
-		span.End()
 	}
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "exporting raw data to %s...\n", out)
-		if err := expt.ExportAll(w, out); err != nil {
+		ph := profiler.Begin("export")
+		err := expt.ExportAll(w, out)
+		ph.End()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeReport renders the profiler's phase record into dir as RUNREPORT.md
+// (human-readable) and runreport.json (machine-readable).
+func writeReport(p *obs.Profiler, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var md, js strings.Builder
+	p.WriteReport(&md)
+	p.WriteJSON(&js)
+	if err := os.WriteFile(filepath.Join(dir, "RUNREPORT.md"), []byte(md.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "runreport.json"), []byte(js.String()), 0o644)
 }

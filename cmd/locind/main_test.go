@@ -1,27 +1,29 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"fig99"}, 0, true, "", 0, "", 0); err == nil {
+	if err := run([]string{"fig99"}, runOpts{quick: true}); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
 
 func TestRunTable1Only(t *testing.T) {
 	// table1 needs no world; must complete quickly.
-	if err := run([]string{"table1"}, 7, true, "", 0, "", 0); err != nil {
+	if err := run([]string{"table1"}, runOpts{seed: 7, quick: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNetsimOnly(t *testing.T) {
-	if err := run([]string{"netsim"}, 7, true, "", 0, "", 0); err != nil {
+	if err := run([]string{"netsim"}, runOpts{seed: 7, quick: true}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +33,7 @@ func TestRunWorldExperimentsAndExport(t *testing.T) {
 		t.Skip("world build is slow")
 	}
 	dir := t.TempDir()
-	if err := run([]string{"fig8", "fig12"}, 7, true, dir, 0, "", 0); err != nil {
+	if err := run([]string{"fig8", "fig12"}, runOpts{seed: 7, quick: true, out: dir}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig8.csv")); err != nil {
@@ -41,7 +43,7 @@ func TestRunWorldExperimentsAndExport(t *testing.T) {
 
 // captureRun runs the experiments with stdout redirected and returns the
 // rendered output.
-func captureRun(t *testing.T, args []string, parallel int, obsAddr string) string {
+func captureRun(t *testing.T, args []string, parallel int, obsAddr, report string) string {
 	t.Helper()
 	r, w, err := os.Pipe()
 	if err != nil {
@@ -55,7 +57,7 @@ func captureRun(t *testing.T, args []string, parallel int, obsAddr string) strin
 		b, _ := io.ReadAll(r)
 		done <- b
 	}()
-	runErr := run(args, 7, true, "", parallel, obsAddr, 0)
+	runErr := run(args, runOpts{seed: 7, quick: true, parallel: parallel, obsAddr: obsAddr, report: report})
 	w.Close()
 	out := <-done
 	os.Stdout = orig
@@ -72,12 +74,43 @@ func TestRunParallelByteIdentical(t *testing.T) {
 		t.Skip("world build is slow")
 	}
 	args := []string{"fig8", "fig11b", "ablate"}
-	seq := captureRun(t, args, 1, "")
-	par := captureRun(t, args, 8, "127.0.0.1:0")
+	seq := captureRun(t, args, 1, "", "")
+	par := captureRun(t, args, 8, "127.0.0.1:0", t.TempDir())
 	if seq != par {
 		t.Fatalf("output diverged between -parallel 1 and -parallel 8:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
 	}
 	if seq == "" {
 		t.Fatal("no output captured")
+	}
+}
+
+// The -report flag must leave both artifacts behind, with the profiled
+// phases named after the experiments that ran — and (per the byte-identical
+// leg of TestRunParallelByteIdentical, which enables -report on one side
+// only) profiling must never perturb results.
+func TestRunReportArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	_ = captureRun(t, []string{"table1"}, 0, "", dir)
+	md, err := os.ReadFile(filepath.Join(dir, "RUNREPORT.md"))
+	if err != nil {
+		t.Fatalf("RUNREPORT.md missing: %v", err)
+	}
+	if !strings.Contains(string(md), "| table1 |") {
+		t.Fatalf("RUNREPORT.md missing the table1 phase:\n%s", md)
+	}
+	js, err := os.ReadFile(filepath.Join(dir, "runreport.json"))
+	if err != nil {
+		t.Fatalf("runreport.json missing: %v", err)
+	}
+	var doc struct {
+		Phases []struct {
+			Name string `json:"name"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("runreport.json invalid: %v\n%s", err, js)
+	}
+	if len(doc.Phases) != 1 || doc.Phases[0].Name != "table1" {
+		t.Fatalf("runreport.json phases wrong: %+v", doc.Phases)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
@@ -62,12 +63,18 @@ func run(addr string, users, days int, seed int64, obsAddr string) error {
 		return err
 	}
 
-	// Observability: fleet-wide retry counters on an introspection port.
+	// Observability: fleet-wide retry counters, upload traces, and the
+	// flight-recorder log on an introspection port.
 	var fleetMetrics *reliable.Metrics
+	var tracer *obs.Tracer
 	if obsAddr != "" {
 		reg := obs.NewRegistry()
 		fleetMetrics = reliable.NewMetrics(reg, "nomad")
-		osrv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, nil, nil))
+		tracer = obs.NewTracer(seed, 0)
+		begin := time.Now()
+		tracer.SetNow(func() time.Duration { return time.Since(begin) })
+		ring := obs.NewRing(0)
+		osrv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
 		if err != nil {
 			return err
 		}
@@ -75,8 +82,11 @@ func run(addr string, users, days int, seed int64, obsAddr string) error {
 		fmt.Printf("nomadd: introspection on http://%s/metrics\n", osrv.Addr())
 	}
 
-	// The backend on a real socket.
+	// The backend on a real socket. Sharing the tracer between client and
+	// server sides merges their spans into one export, so /debug/traces
+	// shows each upload's server-side store span under the device's batch.
 	srv := nomad.NewServer()
+	srv.Tracer = tracer
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -86,7 +96,7 @@ func run(addr string, users, days int, seed int64, obsAddr string) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("nomadd: backend listening on %s\n", base)
 
-	uploaded, err := nomad.RunFleetObserved(context.Background(), base, trace, 8, fleetMetrics)
+	uploaded, err := nomad.RunFleetObserved(context.Background(), base, trace, 8, fleetMetrics, tracer)
 	if err != nil {
 		return err
 	}

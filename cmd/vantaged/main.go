@@ -66,12 +66,18 @@ func run(addr string, nodes, domains, days int, seed int64, obsAddr string) erro
 
 	ctx := context.Background()
 
-	// Observability: campaign-wide retry counters on an introspection port.
+	// Observability: campaign-wide retry counters, per-node traces, and the
+	// flight-recorder log on an introspection port.
 	var campaignMetrics *reliable.Metrics
+	var tracer *obs.Tracer
 	if obsAddr != "" {
 		reg := obs.NewRegistry()
 		campaignMetrics = reliable.NewMetrics(reg, "vantage")
-		osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, nil, nil))
+		tracer = obs.NewTracer(seed, 0)
+		begin := time.Now()
+		tracer.SetNow(func() time.Duration { return time.Since(begin) })
+		ring := obs.NewRing(0)
+		osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, tracer, ring))
 		if err != nil {
 			return err
 		}
@@ -83,6 +89,10 @@ func run(addr string, nodes, domains, days int, seed int64, obsAddr string) erro
 	if err != nil {
 		return err
 	}
+	// Sharing the tracer between campaign and controller merges both sides'
+	// spans, so /debug/traces shows each node's session commit parented
+	// onto the node span that dialed it in.
+	ctrl.SetTracer(tracer)
 	fmt.Printf("vantaged: controller on %s, %d nodes, %d names, %d hourly rounds\n",
 		ctrl.Addr(), nodes, len(tls), hours)
 	cp := &vantage.Campaign{
@@ -92,6 +102,7 @@ func run(addr string, nodes, domains, days int, seed int64, obsAddr string) erro
 		Retries:    2,
 		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
 		Metrics:    campaignMetrics,
+		Tracer:     tracer,
 	}
 	if err := cp.Run(ctx, tls); err != nil {
 		return err

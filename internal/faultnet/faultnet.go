@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"locind/internal/obs"
 )
 
 // Env owns the randomness and the clock for one fault-injection domain.
@@ -31,6 +33,7 @@ type Env struct {
 	trace   []string
 	stats   Stats
 	metrics Metrics // value copy installed by SetMetrics; nil handles no-op
+	tracer  *obs.Tracer
 }
 
 // Stats counts injected faults, by kind.
@@ -79,9 +82,24 @@ func (e *Env) Trace() []string {
 	return append([]string(nil), e.trace...)
 }
 
+// SetTracer mirrors every injected fault into tr as a zero-duration span
+// named "faultnet" labelled with the trace-log line, in the same order as
+// Trace(). Fault spans share the causal-tree export with request spans, so
+// a Chrome trace shows which faults interleaved with which retries. nil
+// detaches the tracer.
+func (e *Env) SetTracer(tr *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = tr
+}
+
 // record appends one fault event to the trace. Callers hold e.mu.
 func (e *Env) record(format string, args ...any) {
-	e.trace = append(e.trace, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	e.trace = append(e.trace, msg)
+	// The tracer has its own lock and Start/End never call back into Env,
+	// so recording a span under e.mu cannot deadlock.
+	e.tracer.Start("faultnet", "event", msg).End()
 }
 
 // doSleep waits via the hook without holding the lock.

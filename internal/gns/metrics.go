@@ -26,6 +26,10 @@ type ServerMetrics struct {
 	// determinism analyzer stays clean. Nil leaves Latency unobserved and
 	// the serve path clock-free.
 	Clock func() time.Duration
+	// Tracer, when non-nil, records one serve-side span per dispatched
+	// request, parented onto the originating client span via the request's
+	// Trace field. Nil traces nothing.
+	Tracer *obs.Tracer
 }
 
 // NewServerMetrics registers the gns server families on reg. A nil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"locind/internal/netaddr"
+	"locind/internal/obs"
 	"locind/internal/reliable"
 )
 
@@ -19,6 +20,12 @@ type Request struct {
 	Op    string   `json:"op"` // "lookup" or "update"
 	Name  string   `json:"name"`
 	Addrs []string `json:"addrs,omitempty"`
+	// Trace is the originating client span's obs.TraceContext in Encode
+	// form ("<trace-id>-<span-id>"), absent when the client traces nothing.
+	// It parents the server-side handling span onto the client request span
+	// so both sides assemble into one causal tree; a mangled value is
+	// ignored, never an error.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is the UDP reply.
@@ -150,6 +157,12 @@ func (s *Server) handle(raw []byte) (resp Response) {
 	if err := json.Unmarshal(raw, &req); err != nil {
 		return Response{Err: "bad request: " + err.Error()}
 	}
+	// Continue the client's trace: the serve span parents onto the client
+	// request span named in the wire context (a fresh root when absent or
+	// mangled — propagation is best-effort, never a request failure).
+	tc, _ := obs.ParseTraceContext(req.Trace)
+	span := s.m().Tracer.StartRemote(tc, "gns-serve", "op", req.Op, "name", req.Name)
+	defer span.End()
 	switch req.Op {
 	case "lookup":
 		s.m().Lookups.Inc()
@@ -210,6 +223,12 @@ type Client struct {
 	// Metrics, when non-nil, counts the retry loop's activity (attempts,
 	// retries, backoff, give-ups) into obs handles.
 	Metrics *reliable.Metrics
+	// Tracer, when non-nil, records one request span per Lookup/Update with
+	// per-attempt child spans, and propagates the span's TraceContext in
+	// the request framing so server-side spans parent onto it. When the
+	// caller's ctx already carries a span (obs.ContextWith), the request
+	// span nests under that instead of starting a new trace.
+	Tracer *obs.Tracer
 
 	cache    reliable.Cache[string, Record]
 	attempts atomic.Int64
@@ -227,7 +246,7 @@ func NewClient(serverAddr string) *Client {
 	}
 }
 
-func (c *Client) policy() reliable.Policy {
+func (c *Client) policy(span *obs.Span) reliable.Policy {
 	return reliable.Policy{
 		MaxAttempts: c.Retries + 1,
 		PerAttempt:  c.Timeout,
@@ -236,16 +255,29 @@ func (c *Client) policy() reliable.Policy {
 		Budget:      c.Budget,
 		Sleep:       c.Sleep,
 		Metrics:     c.Metrics,
+		TraceSpan:   span,
 	}
 }
 
-func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+// startSpan opens the request span for one client call: a child of the
+// span carried by ctx when there is one (so gns traffic nests under the
+// driving experiment), else a fresh root on c.Tracer. Nil when tracing is
+// off on both paths.
+func (c *Client) startSpan(ctx context.Context, name string, labels ...string) *obs.Span {
+	if parent := obs.FromContext(ctx); parent != nil {
+		return parent.Child(name, labels...)
+	}
+	return c.Tracer.Start(name, labels...)
+}
+
+func (c *Client) roundTrip(ctx context.Context, req Request, span *obs.Span) (Response, error) {
+	req.Trace = span.Context().Encode()
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return Response{}, err
 	}
 	var resp Response
-	attempts, err := c.policy().Do(ctx, func(ctx context.Context) error {
+	attempts, err := c.policy(span).Do(ctx, func(ctx context.Context) error {
 		var d net.Dialer
 		conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
 		if err != nil {
@@ -289,7 +321,9 @@ func (c *Client) StaleServed() int64 { return c.stale.Load() }
 // lookup that exhausts its retries degrades to the last binding this
 // client resolved successfully (StaleServed counts such answers).
 func (c *Client) Lookup(ctx context.Context, name string) (Record, error) {
-	resp, err := c.roundTrip(ctx, Request{Op: "lookup", Name: name})
+	span := c.startSpan(ctx, "gns-lookup", "name", name)
+	defer span.End()
+	resp, err := c.roundTrip(ctx, Request{Op: "lookup", Name: name}, span)
 	if err != nil {
 		if c.AllowStale {
 			if rec, ok := c.cache.Get(name); ok {
@@ -316,11 +350,13 @@ func (c *Client) Lookup(ctx context.Context, name string) (Record, error) {
 
 // Update installs a binding over UDP. ctx bounds the whole retry loop.
 func (c *Client) Update(ctx context.Context, name string, addrs []netaddr.Addr) (uint64, error) {
+	span := c.startSpan(ctx, "gns-update", "name", name)
+	defer span.End()
 	req := Request{Op: "update", Name: name}
 	for _, a := range addrs {
 		req.Addrs = append(req.Addrs, a.String())
 	}
-	resp, err := c.roundTrip(ctx, req)
+	resp, err := c.roundTrip(ctx, req, span)
 	if err != nil {
 		return 0, err
 	}

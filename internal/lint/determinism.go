@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,9 +20,16 @@ import (
 //     channel, or draws from an RNG. This is the exact shape of the
 //     topology.PreferentialAttachment regression, where per-node RNG draws
 //     followed map order and every run grew a different graph.
+//  4. Ordering or branching decisions keyed on trace identity
+//     (obs.TraceContext IDs, Span.ID) in locind/internal/... packages.
+//     Span IDs exist only when a tracer is attached, so a comparison on
+//     one makes results differ between instrumented and bare runs —
+//     exactly what the obs-on == obs-off invariant forbids. The obs
+//     package itself is exempt: assembling the causal tree is the one
+//     legitimate consumer of span-ID equality.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "wall-clock reads, global math/rand state, and map-iteration order leaking into simulation output",
+	Doc:  "wall-clock reads, global math/rand state, map-iteration order, and trace-identity decisions leaking into simulation output",
 	Run:  runDeterminism,
 }
 
@@ -37,6 +45,16 @@ var globalRandFuncs = map[string]bool{
 }
 
 func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+// isComparisonOp reports whether op orders or equates two values — the
+// decision shapes that must never consume trace identity.
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
 
 func runDeterminism(p *Pass) error {
 	simulation := moduleInternal(p.Pkg.Path())
@@ -57,6 +75,14 @@ func runDeterminism(p *Pass) error {
 				}
 				if isRandPkg(path) && fn.Type().(*types.Signature).Recv() == nil && globalRandFuncs[name] {
 					p.Reportf(n.Pos(), "rand.%s draws from global process-wide state; thread a *rand.Rand derived from the run seed", name)
+				}
+			case *ast.BinaryExpr:
+				if simulation && p.Pkg.Path() != obsPkgPath && isComparisonOp(n.Op) {
+					if from := traceIdentity(p, n.X); from != "" {
+						p.Reportf(n.Pos(), "decision keyed on trace identity %s differs between instrumented and bare runs; key it on domain values instead", from)
+					} else if from := traceIdentity(p, n.Y); from != "" {
+						p.Reportf(n.Pos(), "decision keyed on trace identity %s differs between instrumented and bare runs; key it on domain values instead", from)
+					}
 				}
 			case *ast.RangeStmt:
 				checkMapRange(p, n, stack)

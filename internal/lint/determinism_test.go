@@ -9,5 +9,6 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata/determinism", lint.Determinism,
-		"locind/internal/simfix", "locind/internal/simobs", "example.com/cmdfix")
+		"locind/internal/simfix", "locind/internal/simobs", "example.com/cmdfix",
+		"locind/internal/obs")
 }

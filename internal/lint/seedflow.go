@@ -10,6 +10,11 @@ import (
 //     os.Getpid, crypto/rand) is flagged everywhere: such a generator can
 //     never replay a run, which defeats the repository's bit-for-bit
 //     reproducibility contract.
+//   - A seed derived from trace identity (obs.TraceContext IDs, Span.ID)
+//     is flagged everywhere: span IDs are deterministic but exist only
+//     when a tracer is attached, so such a seed silently couples results
+//     to whether observability is enabled (DESIGN.md §8's obs-on ==
+//     obs-off invariant).
 //   - In locind/internal/... library packages, a seed that is a bare
 //     compile-time constant is also flagged: a library that hard-codes its
 //     seed hides the replay handle from its caller. Seeds must arrive
@@ -56,6 +61,10 @@ func runSeedflow(p *Pass) error {
 				arg := call.Args[i]
 				if from := nondeterministicSource(p, arg); from != "" {
 					p.Reportf(arg.Pos(), "seed derived from %s can never replay a run; derive it from a parameter or struct field", from)
+					continue
+				}
+				if from := traceIdentity(p, arg); from != "" {
+					p.Reportf(arg.Pos(), "seed derived from trace identity %s couples results to whether tracing is enabled; trace context must never feed seeds", from)
 					continue
 				}
 				if library && p.TypesInfo.Types[arg].Value != nil {

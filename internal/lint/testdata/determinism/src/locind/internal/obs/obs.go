@@ -37,3 +37,27 @@ func (t *Tracer) Start(name string) uint64 {
 	}
 	return uint64(len(name)) + 1
 }
+
+// TraceContext mimics the propagated trace identity.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Span mimics the recorded span handle.
+type Span struct{ id uint64 }
+
+// ID returns the span's identifier (zero on nil, like the real no-op).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SameTrace is the tree-assembly comparison the obs package is exempt for:
+// matching spans into one causal tree is the single legitimate consumer of
+// trace-identity equality, so the analyzer must stay quiet on this line.
+func SameTrace(a, b TraceContext) bool {
+	return a.TraceID == b.TraceID
+}

@@ -20,3 +20,12 @@ func (c *Counter) Inc() {
 		c.v++
 	}
 }
+
+// TraceContext mimics the propagated trace identity.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Encode renders the wire form carried in request framing.
+func (tc TraceContext) Encode() string { return "tc" }

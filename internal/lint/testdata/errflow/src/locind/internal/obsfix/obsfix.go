@@ -23,3 +23,16 @@ func Progress(ring *obs.Ring, done, total int) {
 func Persist(f *os.File, done, total int) {
 	fmt.Fprintf(f, "progress %d/%d\n", done, total) // want `fmt\.Fprintf returns an error that is discarded here`
 }
+
+// PropagateHop logs an incoming trace context into the flight recorder —
+// the cross-process propagation idiom: the hop is recorded best-effort, so
+// it gets the same error-free exemption as any other Ring write.
+func PropagateHop(ring *obs.Ring, tc obs.TraceContext) {
+	fmt.Fprintf(ring, "hop trace=%s\n", tc.Encode())
+}
+
+// PersistHop writes the identical hop line to a real file: outside the
+// Ring the error matters again.
+func PersistHop(f *os.File, tc obs.TraceContext) {
+	fmt.Fprintf(f, "hop trace=%s\n", tc.Encode()) // want `fmt\.Fprintf returns an error that is discarded here`
+}

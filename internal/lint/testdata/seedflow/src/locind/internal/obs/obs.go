@@ -1,0 +1,23 @@
+// Package obs is a fixture stub standing in for the real
+// locind/internal/obs: seedflow flags trace identity feeding a seed, and
+// the golden test needs TraceContext and Span at their real import path
+// for the type checks to recognise them.
+package obs
+
+// TraceContext mimics the propagated trace identity: both IDs exist only
+// when a tracer is attached upstream.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Span mimics the recorded span handle.
+type Span struct{ id uint64 }
+
+// ID returns the span's identifier (zero on nil, like the real no-op).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}

@@ -8,6 +8,8 @@ import (
 	randv2 "math/rand/v2"
 	"os"
 	"time"
+
+	"locind/internal/obs"
 )
 
 // FromClock seeds from the wall clock: unreplayable anywhere in the module.
@@ -29,4 +31,16 @@ func Hardcoded() *rand.Rand {
 // are checked independently.
 func PCGFromClock() *randv2.Rand {
 	return randv2.New(randv2.NewPCG(uint64(time.Now().UnixNano()), 2)) // want `seed derived from time\.Now` `constant seed in library code`
+}
+
+// FromTraceContext seeds from the propagated trace identity: the IDs are
+// deterministic, but they exist only when tracing is enabled, so the run
+// would differ between instrumented and bare executions.
+func FromTraceContext(tc obs.TraceContext) *rand.Rand {
+	return rand.New(rand.NewSource(int64(tc.TraceID))) // want `seed derived from trace identity TraceContext\.TraceID`
+}
+
+// FromSpanID is the same leak through the span handle.
+func FromSpanID(sp *obs.Span) *rand.Rand {
+	return rand.New(rand.NewSource(int64(sp.ID()))) // want `seed derived from trace identity Span\.ID\(\)`
 }

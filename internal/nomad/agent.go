@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"locind/internal/mobility"
+	"locind/internal/obs"
 	"locind/internal/reliable"
 )
 
@@ -46,6 +47,10 @@ type Agent struct {
 	// Metrics, when non-nil, counts the retry loop's activity into obs
 	// handles shared across the fleet.
 	Metrics *reliable.Metrics
+	// Tracer, when non-nil, records one span per batch-upload opportunity
+	// (with per-attempt children) and propagates its TraceContext in the
+	// upload headers so the server's store span parents onto it.
+	Tracer *obs.Tracer
 
 	deviceID string
 	pending  []Entry // records not yet sealed into a batch
@@ -83,13 +88,14 @@ func (a *Agent) Pending() int {
 	return n
 }
 
-func (a *Agent) policy() reliable.Policy {
+func (a *Agent) policy(span *obs.Span) reliable.Policy {
 	return reliable.Policy{
 		MaxAttempts: a.UploadRetries + 1,
 		Backoff:     a.Backoff,
 		Rand:        a.Rand,
 		Sleep:       a.Sleep,
 		Metrics:     a.Metrics,
+		TraceSpan:   span,
 	}
 }
 
@@ -114,9 +120,12 @@ func (a *Agent) drainQueue(ctx context.Context) (int, error) {
 	uploaded := 0
 	for len(a.queue) > 0 {
 		b := a.queue[0]
-		attempts, err := a.policy().Do(ctx, func(ctx context.Context) error {
+		span := a.Tracer.Start("nomad-upload", "batch", b.id)
+		upCtx := obs.ContextWith(ctx, span)
+		attempts, err := a.policy(span).Do(upCtx, func(ctx context.Context) error {
 			return a.Client.Upload(ctx, b.id, b.entries)
 		})
+		span.End()
 		a.UploadAttempts += attempts
 		if err != nil {
 			if ctxErr := ctx.Err(); ctxErr != nil {
@@ -145,7 +154,7 @@ func (a *Agent) Replay(ctx context.Context, u *mobility.UserTrace) (int, error) 
 		// The echo request rides the same retry policy as uploads — a tiny
 		// request on a flaky link.
 		var ip string
-		_, err := a.policy().Do(ctx, func(ctx context.Context) error {
+		_, err := a.policy(nil).Do(ctx, func(ctx context.Context) error {
 			got, err := a.Client.PublicIP(ctx, v.Loc.Addr.String())
 			if err == nil {
 				ip = got
@@ -188,12 +197,13 @@ func (a *Agent) Flush(ctx context.Context) (int, error) {
 // at baseURL, with at most parallel agents in flight. It returns the total
 // number of uploaded records. ctx cancels the whole fleet.
 func RunFleet(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
-	return RunFleetObserved(ctx, baseURL, dt, parallel, nil)
+	return RunFleetObserved(ctx, baseURL, dt, parallel, nil, nil)
 }
 
-// RunFleetObserved is RunFleet with shared retry-loop metrics attached to
-// every agent; m may be nil for an unobserved fleet.
-func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int, m *reliable.Metrics) (int, error) {
+// RunFleetObserved is RunFleet with shared retry-loop metrics and an upload
+// tracer attached to every agent; m and tr may be nil for an unobserved
+// fleet.
+func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int, m *reliable.Metrics, tr *obs.Tracer) (int, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -213,6 +223,7 @@ func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTr
 			defer func() { <-sem }()
 			agent := NewAgent(NewClient(baseURL), fmt.Sprintf("device-%d", u.ID))
 			agent.Metrics = m
+			agent.Tracer = tr
 			n, err := agent.Replay(ctx, u)
 			mu.Lock()
 			defer mu.Unlock()

@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"locind/internal/obs"
 )
 
 // Entry is one log record, matching the schema of §4:
@@ -132,7 +134,11 @@ func (s *LogStore) Devices() []string {
 // endpoint, backed by a LogStore.
 type Server struct {
 	Store *LogStore
-	mux   *http.ServeMux
+	// Tracer, when non-nil, records one span per accepted upload batch,
+	// parented onto the uploading agent's batch span via the trace header.
+	// Nil traces nothing.
+	Tracer *obs.Tracer
+	mux    *http.ServeMux
 }
 
 // simulatedAddrHeader carries the workload-assigned public address during
@@ -142,6 +148,10 @@ const simulatedAddrHeader = "X-Nomad-Simulated-Addr"
 // batchIDHeader carries the device's stable batch identifier, the key the
 // store dedups on when a retry replays a batch whose response was lost.
 const batchIDHeader = "X-Nomad-Batch-Id"
+
+// traceHeader carries the uploading agent's obs.TraceContext in Encode
+// form, so server-side upload spans parent onto the device batch span.
+const traceHeader = "X-Nomad-Trace"
 
 // NewServer constructs the backend.
 func NewServer() *Server {
@@ -176,6 +186,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	tc, _ := obs.ParseTraceContext(r.Header.Get(traceHeader))
+	span := s.Tracer.StartRemote(tc, "nomad-store", "batch", r.Header.Get(batchIDHeader))
+	defer span.End()
 	var batch []Entry
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&batch); err != nil {
@@ -259,6 +272,11 @@ func (c *Client) Upload(ctx context.Context, batchID string, batch []Entry) erro
 	req.Header.Set("Content-Type", "application/json")
 	if batchID != "" {
 		req.Header.Set(batchIDHeader, batchID)
+	}
+	// Propagate the batch span carried by ctx (if any) so the server's
+	// store span parents onto it.
+	if tc := obs.FromContext(ctx).Context(); tc.Valid() {
+		req.Header.Set(traceHeader, tc.Encode())
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func exposition(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestHistogramExpositionEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("locind_empty_seconds", "never observed", []float64{0.1, 1})
+	want := strings.Join([]string{
+		"# HELP locind_empty_seconds never observed",
+		"# TYPE locind_empty_seconds histogram",
+		`locind_empty_seconds_bucket{le="0.1"} 0`,
+		`locind_empty_seconds_bucket{le="1"} 0`,
+		`locind_empty_seconds_bucket{le="+Inf"} 0`,
+		"locind_empty_seconds_sum 0",
+		"locind_empty_seconds_count 0",
+		"",
+	}, "\n")
+	if got := exposition(reg); got != want {
+		t.Fatalf("empty histogram exposition:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramExpositionSingleBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("locind_single_seconds", "one finite bound", []float64{0.5})
+	h.Observe(0.25) // inside the one bucket
+	h.Observe(2)    // beyond every finite bound: +Inf only
+	want := strings.Join([]string{
+		"# HELP locind_single_seconds one finite bound",
+		"# TYPE locind_single_seconds histogram",
+		`locind_single_seconds_bucket{le="0.5"} 1`,
+		`locind_single_seconds_bucket{le="+Inf"} 2`,
+		"locind_single_seconds_sum 2.25",
+		"locind_single_seconds_count 2",
+		"",
+	}, "\n")
+	if got := exposition(reg); got != want {
+		t.Fatalf("single-bucket exposition:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramExpositionCumulativeInf(t *testing.T) {
+	// Buckets must be cumulative and the +Inf line must equal _count even
+	// when every observation lands in a finite bucket.
+	reg := NewRegistry()
+	h := reg.Histogram("locind_cum_seconds", "cumulative check", []float64{1, 2, 4}, "kind", "walk")
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	want := strings.Join([]string{
+		"# HELP locind_cum_seconds cumulative check",
+		"# TYPE locind_cum_seconds histogram",
+		`locind_cum_seconds_bucket{kind="walk",le="1"} 1`,
+		`locind_cum_seconds_bucket{kind="walk",le="2"} 3`,
+		`locind_cum_seconds_bucket{kind="walk",le="4"} 4`,
+		`locind_cum_seconds_bucket{kind="walk",le="+Inf"} 5`,
+		"locind_cum_seconds_sum{kind=\"walk\"} 14.5",
+		"locind_cum_seconds_count{kind=\"walk\"} 5",
+		"",
+	}, "\n")
+	if got := exposition(reg); got != want {
+		t.Fatalf("cumulative exposition:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -15,8 +15,9 @@ import (
 //	/metrics        Prometheus text exposition of reg
 //	/debug/vars     expvar JSON (reg is bridged in under "locind_obs")
 //	/debug/pprof/*  the standard runtime profiles
-//	/debug/traces   tr's retained spans as JSON (if tr is non-nil)
-//	/debug/log      log's retained flight-recorder tail (if log is non-nil)
+//	/debug/traces   tr's retained spans as JSON; ?format=chrome renders
+//	                Chrome trace_event JSON instead (404 when tr is nil)
+//	/debug/log      log's retained flight-recorder tail (404 when log is nil)
 //	/healthz        200 ok
 //
 // Nothing registers on http.DefaultServeMux, so tests can mount several
@@ -36,13 +37,27 @@ func Handler(reg *Registry, tr *Tracer, log *Ring) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		// An explicit 404 beats an empty 200: "tracing disabled" and "no
+		// spans recorded yet" are different operator situations.
+		if tr == nil {
+			http.Error(w, "tracing disabled (no tracer attached)", http.StatusNotFound)
+			return
+		}
 		var b strings.Builder
-		tr.WriteJSON(&b)
+		if r.URL.Query().Get("format") == "chrome" {
+			tr.WriteChrome(&b)
+		} else {
+			tr.WriteJSON(&b)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write([]byte(b.String())) //nolint:errcheck
 	})
 	mux.HandleFunc("/debug/log", func(w http.ResponseWriter, _ *http.Request) {
+		if log == nil {
+			http.Error(w, "flight recorder disabled (no ring attached)", http.StatusNotFound)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(log.Bytes()) //nolint:errcheck
 	})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -35,6 +36,7 @@ type Tracer struct {
 // SpanRecord is one finished (or still-open) span.
 type SpanRecord struct {
 	ID     uint64        `json:"id"`
+	Trace  uint64        `json:"trace,omitempty"`
 	Parent uint64        `json:"parent,omitempty"`
 	Name   string        `json:"name"`
 	Labels []string      `json:"labels,omitempty"`
@@ -48,10 +50,55 @@ type SpanRecord struct {
 type Span struct {
 	t      *Tracer
 	id     uint64
+	trace  uint64
 	name   string
 	labels []string
 	parent uint64
 	start  time.Duration
+	ended  bool // guarded by t.mu; End commits exactly once
+}
+
+// TraceContext is the compact cross-process span context: enough identity
+// to parent a server-side span onto the client span that caused it. It is
+// carried on the wire (gns request framing, nomad upload headers, vantage
+// frames) as the Encode form, so spans recorded by different processes
+// assemble into one causal tree. Like span IDs, both fields are
+// deterministic under a fixed seed; they identify causality and must never
+// feed seeds or ordering decisions (the seedflow/determinism analyzers
+// police this).
+type TraceContext struct {
+	TraceID uint64 `json:"trace"`
+	SpanID  uint64 `json:"span"`
+}
+
+// Valid reports whether tc carries a usable context (both IDs non-zero).
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 && tc.SpanID != 0 }
+
+// Encode renders tc in the wire form "<trace-id>-<span-id>", two
+// 16-hex-digit fields. An invalid context encodes to "" so omitempty JSON
+// fields and absent headers fall out naturally.
+func (tc TraceContext) Encode() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%016x", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceContext decodes the Encode form. Anything malformed — wrong
+// length, bad hex, zero IDs — returns ok=false; propagation is best-effort
+// and a mangled context must never fail a request.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	if len(s) != 33 || s[16] != '-' {
+		return TraceContext{}, false
+	}
+	var tc TraceContext
+	if _, err := fmt.Sscanf(s, "%016x-%016x", &tc.TraceID, &tc.SpanID); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
 }
 
 // NewTracer builds a tracer whose span IDs derive from seed. capacity
@@ -96,13 +143,26 @@ func (t *Tracer) spanID(name string, labels []string, seq uint64) uint64 {
 	return id
 }
 
-// Start opens a root span. Nil tracer → nil span, every operation on
-// which is a no-op.
+// Start opens a root span: the start of a new trace, whose trace ID is the
+// span's own ID. Nil tracer → nil span, every operation on which is a
+// no-op.
 func (t *Tracer) Start(name string, labels ...string) *Span {
-	return t.start(name, 0, labels)
+	return t.start(name, 0, 0, labels)
 }
 
-func (t *Tracer) start(name string, parent uint64, labels []string) *Span {
+// StartRemote opens a span that continues a trace begun in another process
+// (or another tracer): it joins tc's trace and parents onto tc's span, so
+// a server-side span nests under the client span whose request it is
+// handling. An invalid tc degrades to Start — a mangled or absent context
+// yields a fresh root rather than an error.
+func (t *Tracer) StartRemote(tc TraceContext, name string, labels ...string) *Span {
+	if !tc.Valid() {
+		return t.Start(name, labels...)
+	}
+	return t.start(name, tc.SpanID, tc.TraceID, labels)
+}
+
+func (t *Tracer) start(name string, parent, trace uint64, labels []string) *Span {
 	if t == nil {
 		return nil
 	}
@@ -114,18 +174,23 @@ func (t *Tracer) start(name string, parent uint64, labels []string) *Span {
 		start = t.now()
 	}
 	t.mu.Unlock()
+	id := t.spanID(name, labels, seq)
+	if trace == 0 {
+		trace = id // a root span begins its own trace
+	}
 	return &Span{
-		t: t, id: t.spanID(name, labels, seq), name: name,
+		t: t, id: id, trace: trace, name: name,
 		labels: labels, parent: parent, start: start,
 	}
 }
 
-// Child opens a span parented on s. Nil-safe: a child of a nil span is nil.
+// Child opens a span parented on s, in the same trace. Nil-safe: a child
+// of a nil span is nil.
 func (s *Span) Child(name string, labels ...string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.t.start(name, s.id, labels)
+	return s.t.start(name, s.id, s.trace, labels)
 }
 
 // ID returns the deterministic span ID (0 for a nil span).
@@ -136,7 +201,19 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
-// End closes the span and commits it to the tracer's ring.
+// Context returns the propagation context for s: the handle a client puts
+// on the wire so the server's spans parent onto s. Zero for a nil span, so
+// disabled tracing encodes to "" and nothing is propagated.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id}
+}
+
+// End closes the span and commits it to the tracer's ring. Exactly once:
+// a second End on the same span is a no-op, so a defensive double-close
+// (defer plus explicit) cannot duplicate the record or evict a live one.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -144,8 +221,12 @@ func (s *Span) End() {
 	t := s.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
 	rec := SpanRecord{
-		ID: s.id, Parent: s.parent, Name: s.name, Labels: s.labels, Start: s.start,
+		ID: s.id, Trace: s.trace, Parent: s.parent, Name: s.name, Labels: s.labels, Start: s.start,
 	}
 	if t.now != nil {
 		rec.Dur = t.now() - s.start
@@ -190,4 +271,23 @@ func (t *Tracer) WriteJSON(b *strings.Builder) {
 		return
 	}
 	b.Write(enc) //nolint:errcheck // strings.Builder cannot fail
+}
+
+// spanCtxKey keys the active span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWith returns ctx carrying s as the active span, the in-process
+// leg of propagation: client helpers read it back with FromContext and put
+// s.Context() on the wire. A nil span returns ctx unchanged.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// FromContext returns the active span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
 }

@@ -17,8 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"locind/internal/obs"
 )
 
 // Backoff computes exponential backoff delays with optional deterministic
@@ -152,6 +155,11 @@ type Policy struct {
 	// Metrics, when non-nil, counts attempts/retries/give-ups into obs
 	// handles. Nil records nothing.
 	Metrics *Metrics
+	// TraceSpan, when non-nil, is the request span the retry loop runs
+	// under: every attempt opens a child span labelled with its 0-based
+	// index, so a causal tree shows each retry as a sibling under the one
+	// request that caused it. Nil traces nothing.
+	TraceSpan *obs.Span
 }
 
 // Do runs op under the policy until it succeeds, exhausts attempts or
@@ -180,7 +188,9 @@ func (p Policy) Do(ctx context.Context, op func(ctx context.Context) error) (att
 			attemptCtx, cancel = context.WithTimeout(ctx, p.PerAttempt)
 		}
 		m.Attempts.Inc()
+		span := p.TraceSpan.Child("attempt", "n", strconv.Itoa(attempt))
 		err := op(attemptCtx)
+		span.End()
 		if cancel != nil {
 			cancel()
 		}

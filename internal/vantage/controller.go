@@ -10,6 +10,7 @@ import (
 
 	"locind/internal/names"
 	"locind/internal/netaddr"
+	"locind/internal/obs"
 )
 
 // Controller is the central collection node: it accepts vantage-point
@@ -33,6 +34,7 @@ type Controller struct {
 	discarded  int
 	dupCommits int
 	errs       []error
+	tracer     *obs.Tracer
 
 	wg sync.WaitGroup
 
@@ -78,6 +80,21 @@ func ServeController(ctx context.Context, ln net.Listener) *Controller {
 // Addr returns the controller's listen address.
 func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
+// SetTracer attaches a tracer recording one commit span per campaign,
+// parented onto the node's campaign span via the hello frame's trace
+// context. nil detaches it.
+func (c *Controller) SetTracer(tr *obs.Tracer) {
+	c.mu.Lock()
+	c.tracer = tr
+	c.mu.Unlock()
+}
+
+func (c *Controller) getTracer() *obs.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
+
 // close stops the listener exactly once; Close and ctx cancellation can
 // race, and the second closer must see the first's error, not a spurious
 // "use of closed network connection".
@@ -114,6 +131,7 @@ func (c *Controller) acceptLoop() {
 func (c *Controller) handle(conn net.Conn) {
 	defer conn.Close()
 	node := ""
+	var tc obs.TraceContext
 	var staged []Message
 	for {
 		m, err := ReadFrame(conn)
@@ -127,13 +145,18 @@ func (c *Controller) handle(conn net.Conn) {
 		switch m.Type {
 		case TypeHello:
 			node = m.Node
+			tc, _ = obs.ParseTraceContext(m.Trace)
 			c.mu.Lock()
 			c.nodes[node] = true
 			c.mu.Unlock()
 		case TypeReport:
 			staged = append(staged, m)
 		case TypeBye:
+			// The commit span parents onto the node's campaign span named
+			// in the hello frame — the cross-process leg of the causal tree.
+			span := c.getTracer().StartRemote(tc, "vantage-commit", "node", node)
 			c.commit(node, staged)
+			span.End()
 			// Acknowledge only after the commit: the ack is the node's
 			// proof that its whole campaign is in the union, so a node
 			// whose Close errored knows it must replay.

@@ -15,6 +15,7 @@ import (
 	"locind/internal/cdn"
 	"locind/internal/names"
 	"locind/internal/netaddr"
+	"locind/internal/obs"
 	"locind/internal/reliable"
 )
 
@@ -40,7 +41,11 @@ func Dial(ctx context.Context, addr, name string) (*Node, error) {
 		conn.Close()
 		return nil, err
 	}
-	if err := WriteFrame(conn, Message{Type: TypeHello, Node: name}); err != nil {
+	// The hello frame carries the span riding on ctx (the node's campaign
+	// span when the caller traces), so the controller's commit span can
+	// parent onto it.
+	hello := Message{Type: TypeHello, Node: name, Trace: obs.FromContext(ctx).Context().Encode()}
+	if err := WriteFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -161,6 +166,10 @@ type Campaign struct {
 	// Metrics, when non-nil, counts every node's retry-loop activity into
 	// shared obs handles.
 	Metrics *reliable.Metrics
+	// Tracer, when non-nil, records one span per node campaign (with
+	// per-attempt children) and propagates its TraceContext in the hello
+	// frame so the controller's commit span parents onto it.
+	Tracer *obs.Tracer
 
 	attempts atomic.Int64
 }
@@ -214,14 +223,17 @@ func (cp *Campaign) Run(ctx context.Context, tls []cdn.Timeline) error {
 }
 
 func (cp *Campaign) runNode(ctx context.Context, idx int, rng *rand.Rand, view ViewFunc, tls []cdn.Timeline) error {
+	span := cp.Tracer.Start("vantage-node", "node", fmt.Sprintf("pl%03d", idx))
+	defer span.End()
 	policy := reliable.Policy{
 		MaxAttempts: cp.Retries + 1,
 		Backoff:     cp.Backoff,
 		Rand:        rng,
 		Sleep:       cp.Sleep,
 		Metrics:     cp.Metrics,
+		TraceSpan:   span,
 	}
-	attempts, err := policy.Do(ctx, func(ctx context.Context) error {
+	attempts, err := policy.Do(obs.ContextWith(ctx, span), func(ctx context.Context) error {
 		return cp.attempt(ctx, idx, view, tls)
 	})
 	cp.attempts.Add(int64(attempts))

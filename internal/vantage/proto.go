@@ -21,6 +21,11 @@ type Message struct {
 	Hour  int      `json:"hour,omitempty"`
 	Name  string   `json:"name,omitempty"`
 	Addrs []string `json:"addrs,omitempty"`
+	// Trace, on a hello frame, is the node's campaign span context in
+	// obs.TraceContext Encode form; the controller's commit span parents
+	// onto it. Absent when the node traces nothing; a mangled value is
+	// ignored.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Message types.
