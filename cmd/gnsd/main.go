@@ -1,0 +1,99 @@
+// Command gnsd boots a sharded, replicated GNS cluster on loopback — the
+// location-independent name service of DESIGN.md §9 — and either serves it
+// until interrupted or drives the deterministic chaos soak against it.
+//
+// Usage:
+//
+//	gnsd [flags]
+//
+// Flags:
+//
+//	-shards N    consistent-hash shard count (default 3)
+//	-replicas N  replication factor per shard (default 3)
+//	-seed N      fault/randomness seed (default 1)
+//	-soak        run the chaos soak (seed, kill a shard, heal, repair,
+//	             verify convergence) instead of serving
+//	-quick       soak at CI scale (20k names) instead of the full 1M
+//	-obs.addr    serve /metrics and /debug/traces on this address
+//	             (empty = disabled)
+//
+// In serve mode gnsd prints the replica address grid, one shard per line,
+// and blocks until SIGINT/SIGTERM. Clients route with cluster.NewClient
+// over exactly that grid. In soak mode the full experiment readout is
+// printed and the exit status reports convergence.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"locind/internal/expt"
+	"locind/internal/faultnet"
+	"locind/internal/gns"
+	"locind/internal/gns/cluster"
+	"locind/internal/obs"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 3, "consistent-hash shard count")
+		replicas = flag.Int("replicas", 3, "replication factor per shard")
+		seed     = flag.Int64("seed", 1, "fault/randomness seed")
+		soak     = flag.Bool("soak", false, "run the chaos soak instead of serving")
+		quick    = flag.Bool("quick", false, "soak at CI scale (20k names) instead of 1M")
+		obsAddr  = flag.String("obs.addr", "", "serve /metrics and /debug/traces on this address (empty = disabled)")
+	)
+	flag.Parse()
+	if err := run(*shards, *replicas, *seed, *soak, *quick, *obsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "gnsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards, replicas int, seed int64, soak, quick bool, obsAddr string) error {
+	if soak {
+		res, err := expt.RunGNSCluster(seed, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if !res.Converged {
+			return fmt.Errorf("soak did not converge to the fault-free reference")
+		}
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var sm *gns.ServerMetrics
+	if obsAddr != "" {
+		reg := obs.NewRegistry()
+		sm = gns.NewServerMetrics(reg)
+		srv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, nil, nil))
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //nolint:errcheck // the process is exiting
+		fmt.Fprintf(os.Stderr, "gnsd: introspection on http://%s/metrics\n", srv.Addr())
+	}
+
+	c, err := cluster.Start(ctx, cluster.Config{Shards: shards, Replicas: replicas}, faultnet.NewEnv(seed), sm)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fmt.Printf("gnsd: %d shards x %d replicas\n", shards, replicas)
+	for s, row := range c.Addrs() {
+		fmt.Printf("shard %d: %s\n", s, strings.Join(row, " "))
+	}
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "gnsd: shutting down")
+	return nil
+}

@@ -8,7 +8,7 @@
 //	locind [flags] <experiment>...
 //
 // Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig12
-// sensitivity envelope ablate all
+// sensitivity envelope ablate netsim gns-cluster all
 //
 // Flags:
 //
@@ -81,7 +81,10 @@ experiments:
   envelope     back-of-the-envelope update loads
   ablate       forwarding-strategy and collector-feed ablations
   netsim       packet-level comparison of the three architectures
-  all          everything above
+  gns-cluster  chaos soak of the sharded, replicated GNS cluster
+               (1M names; minutes of wall clock — use -quick for CI scale;
+               not part of "all")
+  all          everything above except gns-cluster
 `)
 }
 
@@ -116,7 +119,7 @@ func run(args []string, o runOpts) error {
 			}
 			continue
 		}
-		if a != "table1" && a != "netsim" && !deviceExperiments[a] {
+		if a != "table1" && a != "netsim" && a != "gns-cluster" && !deviceExperiments[a] {
 			return fmt.Errorf("unknown experiment %q (run without arguments for the list)", a)
 		}
 		want[a] = true
@@ -207,6 +210,16 @@ func run(args []string, o runOpts) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	if want["gns-cluster"] {
+		ph := profiler.Begin("gns-cluster")
+		res, err := expt.RunGNSCluster(cfg.Seed, quick)
+		ph.End()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
 	}
 
 	needWorld := out != ""

@@ -47,6 +47,11 @@ type Stats struct {
 	Reset      int
 	Stalled    int
 	Throttled  int
+	// Partitioned counts datagrams swallowed by a Partition cut. Unlike
+	// the probabilistic faults above these consume no random variates, so
+	// imposing or healing a partition never shifts the seeded fault
+	// stream of the other kinds.
+	Partitioned int
 }
 
 // NewEnv creates a fault domain seeded with seed. Waits use time.Sleep

@@ -7,15 +7,16 @@ import "locind/internal/obs"
 // with Env.Stats() — chaos tests assert injected == observed. Zero-value
 // fields (nil handles) record nothing.
 type Metrics struct {
-	Dropped    *obs.Counter
-	Duplicated *obs.Counter
-	Reordered  *obs.Counter
-	Truncated  *obs.Counter
-	Delayed    *obs.Counter
-	Refused    *obs.Counter
-	Reset      *obs.Counter
-	Stalled    *obs.Counter
-	Throttled  *obs.Counter
+	Dropped     *obs.Counter
+	Duplicated  *obs.Counter
+	Reordered   *obs.Counter
+	Truncated   *obs.Counter
+	Delayed     *obs.Counter
+	Refused     *obs.Counter
+	Reset       *obs.Counter
+	Stalled     *obs.Counter
+	Throttled   *obs.Counter
+	Partitioned *obs.Counter
 }
 
 // NewMetrics registers one locind_faultnet_injected_total series per fault
@@ -25,15 +26,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		return reg.Counter("locind_faultnet_injected_total", "faults injected, by kind", "kind", k)
 	}
 	return &Metrics{
-		Dropped:    kind("dropped"),
-		Duplicated: kind("duplicated"),
-		Reordered:  kind("reordered"),
-		Truncated:  kind("truncated"),
-		Delayed:    kind("delayed"),
-		Refused:    kind("refused"),
-		Reset:      kind("reset"),
-		Stalled:    kind("stalled"),
-		Throttled:  kind("throttled"),
+		Dropped:     kind("dropped"),
+		Duplicated:  kind("duplicated"),
+		Reordered:   kind("reordered"),
+		Truncated:   kind("truncated"),
+		Delayed:     kind("delayed"),
+		Refused:     kind("refused"),
+		Reset:       kind("reset"),
+		Stalled:     kind("stalled"),
+		Throttled:   kind("throttled"),
+		Partitioned: kind("partitioned"),
 	}
 }
 

@@ -312,7 +312,7 @@ func TestServerRecoverGuard(t *testing.T) {
 	// A nil service makes any dispatch panic — the guard must catch it.
 	s := &Server{svc: nil}
 	resp := s.handle([]byte(`{"op":"lookup","name":"x"}`))
-	if resp.OK || !strings.Contains(resp.Err, "internal error") {
+	if resp.OK || resp.Code != CodeInternal {
 		t.Fatalf("panic not converted to structured error: %+v", resp)
 	}
 

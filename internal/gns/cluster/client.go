@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locind/internal/gns"
+	"locind/internal/netaddr"
+	"locind/internal/obs"
+	"locind/internal/reliable"
+)
+
+// cachedRec is the client's per-name memory: the last committed record it
+// wrote or fetched, with the version-vector history that proves it. It is
+// both the read-your-writes floor and the last-known-good degraded answer.
+type cachedRec struct {
+	rec gns.Record
+	vv  VV
+}
+
+// Client routes lookups and updates to the replicas owning each name.
+//
+// Placement: ShardOf picks the owning shard; within it, a per-name
+// rendezvous ordering of the replicas gives every name a stable primary,
+// spreading read load across the replica set with no shared state.
+//
+// Writes are quorum writes: a vput fans out to all R replicas of the
+// owning shard and commits when a majority acknowledge; the committed
+// record becomes the client's read-your-writes floor for that name.
+//
+// Reads are hedged and health-checked: the primary replica gets HedgeDelay
+// to answer; then the next healthy replica is tried (a hedge), and so on
+// through the replica set. A per-replica half-open circuit breaker
+// (reliable.Breaker) turns repeated failures into instant skips, so a dead
+// replica costs one timeout per cooldown window instead of one per lookup.
+// An answer older than the floor is recognised as a lagging replica and
+// passed over. When every replica is unreachable the client degrades to
+// the last-known-good binding, flagged Record.Stale — resolution keeps
+// working through a dead shard, just on old mappings.
+type Client struct {
+	// Timeout bounds each non-primary attempt (dial + round trip).
+	Timeout time.Duration
+	// HedgeDelay bounds the primary lookup attempt: how long the primary
+	// may stay silent before the lookup hedges to the next replica. Zero
+	// disables hedging (the primary gets the full Timeout).
+	HedgeDelay time.Duration
+	// Retries is how many extra attempts each replica leg makes before the
+	// client fails over to the next replica.
+	Retries int
+	// Backoff schedules pauses between per-leg attempts.
+	Backoff reliable.Backoff
+	// Rand supplies backoff jitter; nil disables jitter.
+	Rand *rand.Rand
+	// Budget, when non-nil, caps retries across all calls on this client.
+	Budget *reliable.Budget
+	// Sleep overrides the inter-attempt wait (virtual clock hook).
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when non-nil, counts cluster-level activity.
+	Metrics *ClientMetrics
+	// RetryMetrics, when non-nil, counts the per-leg retry loops.
+	RetryMetrics *reliable.Metrics
+	// Tracer, when non-nil, roots one span per Lookup/Update; each replica
+	// leg is a child span, each network attempt a grandchild, and the
+	// server-side serve spans parent onto the leg via wire propagation —
+	// one causal tree per hedged lookup.
+	Tracer *obs.Tracer
+
+	shards   [][]string
+	origin   uint64
+	breakers [][]*reliable.Breaker
+
+	cache    reliable.Cache[string, cachedRec]
+	attempts atomic.Int64
+	stale    atomic.Int64
+
+	mu sync.Mutex // serialises per-name read-modify-write version bumps
+}
+
+// ClientConfig sizes a Client.
+type ClientConfig struct {
+	// Origin is this client's version-vector identity; concurrent writers
+	// need distinct origins. Values must stay below 1<<32 (replica store
+	// origins live above).
+	Origin uint64
+	// BreakerThreshold and BreakerCooldown configure every per-replica
+	// circuit breaker (zero = reliable.Breaker defaults).
+	BreakerThreshold int
+	BreakerCooldown  int
+	// CacheLimit bounds the last-known-good cache (0 = unbounded).
+	CacheLimit int
+}
+
+// NewClient builds a client over the address grid addrs ([shard][replica],
+// from Cluster.Addrs or operator config) with sane defaults: 500ms
+// timeouts, 50ms hedge delay, 1 retry per leg.
+func NewClient(addrs [][]string, cfg ClientConfig) *Client {
+	c := &Client{
+		Timeout:    500 * time.Millisecond,
+		HedgeDelay: 50 * time.Millisecond,
+		Retries:    1,
+		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+		shards:     addrs,
+		origin:     cfg.Origin,
+	}
+	for range addrs {
+		row := make([]*reliable.Breaker, len(addrs[0]))
+		for i := range row {
+			b := &reliable.Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
+			b.OnTransition = func(from, to reliable.BreakerState) {
+				m := c.Metrics.orNop()
+				switch to {
+				case reliable.BreakerOpen:
+					m.BreakerOpens.Inc()
+				case reliable.BreakerHalfOpen:
+					m.BreakerProbes.Inc()
+				case reliable.BreakerClosed:
+					m.BreakerCloses.Inc()
+				}
+			}
+			row[i] = b
+		}
+		c.breakers = append(c.breakers, row)
+	}
+	if cfg.CacheLimit > 0 {
+		// The eviction counter handle is read through Metrics at flush
+		// time via the cache's own counter; bind it lazily in SetMetrics
+		// instead — here we only set the cap.
+		c.cache.Bound(cfg.CacheLimit, nil)
+	}
+	return c
+}
+
+// SetMetrics attaches m (may be nil) and re-binds the cache's eviction
+// counter.
+func (c *Client) SetMetrics(m *ClientMetrics, cacheLimit int) {
+	c.Metrics = m
+	c.cache.Bound(cacheLimit, m.orNop().CacheEvictions)
+}
+
+// Attempts returns the total network attempts made — the determinism
+// quantity chaos tests compare across same-seed runs.
+func (c *Client) Attempts() int64 { return c.attempts.Load() }
+
+// StaleServed returns how many lookups degraded to last-known-good.
+func (c *Client) StaleServed() int64 { return c.stale.Load() }
+
+// CacheEvictions returns how many cached bindings epoch flushes dropped.
+func (c *Client) CacheEvictions() int64 { return c.cache.Evictions() }
+
+// BreakerState exposes one replica's circuit state (introspection and
+// tests).
+func (c *Client) BreakerState(shard, replica int) reliable.BreakerState {
+	return c.breakers[shard][replica].State()
+}
+
+// ResetBreakers force-closes every replica circuit. Demand-driven cooldown
+// means an opened breaker re-probes only after BreakerCooldown rejected
+// requests; when the operator knows the fault is fixed (a partition healed,
+// a replica restarted) this skips straight to probing. The soak experiment
+// calls it after healing its partition so the recovery it measures is
+// convergence, not cooldown drain.
+func (c *Client) ResetBreakers() {
+	for _, row := range c.breakers {
+		for _, br := range row {
+			br.Reset()
+		}
+	}
+}
+
+// Shards returns the shard count of the routing grid.
+func (c *Client) Shards() int { return len(c.shards) }
+
+func majority(r int) int { return r/2 + 1 }
+
+// replicaOrder returns the shard's replica indices in name's rendezvous
+// preference order: every client computes the same stable primary for a
+// name, and read load spreads across replicas name by name.
+func replicaOrder(name string, replicas int) []int {
+	type weight struct {
+		idx int
+		w   uint64
+	}
+	ws := make([]weight, replicas)
+	for i := 0; i < replicas; i++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s#%d", name, i)
+		ws[i] = weight{idx: i, w: h.Sum64()}
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].w != ws[b].w {
+			return ws[a].w > ws[b].w
+		}
+		return ws[a].idx < ws[b].idx
+	})
+	out := make([]int, replicas)
+	for i := range ws {
+		out[i] = ws[i].idx
+	}
+	return out
+}
+
+// startSpan opens the operation's root span: nested under the span carried
+// by ctx when there is one, else fresh on c.Tracer.
+func (c *Client) startSpan(ctx context.Context, name string, labels ...string) *obs.Span {
+	if parent := obs.FromContext(ctx); parent != nil {
+		return parent.Child(name, labels...)
+	}
+	return c.Tracer.Start(name, labels...)
+}
+
+// exchange runs one replica leg: a child span, a bounded retry loop, and
+// the shared gns.Exchange transport. timeout bounds each attempt.
+func (c *Client) exchange(ctx context.Context, addr string, req gns.Request, parent *obs.Span, timeout time.Duration, shard, replica int) (gns.Response, error) {
+	leg := parent.Child("replica", "shard", strconv.Itoa(shard), "r", strconv.Itoa(replica))
+	defer leg.End()
+	req.Trace = leg.Context().Encode()
+	p := reliable.Policy{
+		MaxAttempts: c.Retries + 1,
+		PerAttempt:  timeout,
+		Backoff:     c.Backoff,
+		Rand:        c.Rand,
+		Budget:      c.Budget,
+		Sleep:       c.Sleep,
+		Metrics:     c.RetryMetrics,
+		TraceSpan:   leg,
+	}
+	resp, attempts, err := gns.Exchange(ctx, addr, req, p)
+	c.attempts.Add(int64(attempts))
+	return resp, err
+}
+
+// Update installs a binding for name with a quorum write to the owning
+// shard: the client bumps its origin on the last history it knows for the
+// name and fans the versioned record out to all R replicas, committing
+// when a majority acknowledge. If every reachable replica reports a
+// strictly newer history (this client's memory of the name was evicted or
+// another writer moved it forward), the write is rebased onto the observed
+// history and re-sent — a read-modify-write repair that makes bounded
+// client memory safe. Concurrent writers converge by deterministic
+// last-writer-wins on the version vectors. The committed version vector is
+// returned.
+func (c *Client) Update(ctx context.Context, name string, addrs []netaddr.Addr) (VV, error) {
+	m := c.Metrics.orNop()
+	m.Updates.Inc()
+	shard := ShardOf(name, len(c.shards))
+	span := c.startSpan(ctx, "gnsc-update", "name", name, "shard", strconv.Itoa(shard))
+	defer span.End()
+
+	// Serialise same-client bumps: two goroutines updating one name must
+	// not derive the same counter.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	base, _ := c.cache.Get(name)
+	vv := base.vv.Bump(c.origin)
+	req := gns.Request{Op: "vput", Name: name}
+	for _, a := range addrs {
+		req.Addrs = append(req.Addrs, a.String())
+	}
+
+	replicas := c.shards[shard]
+	order := replicaOrder(name, len(replicas))
+	var lastErr error
+	staleExhausted := false
+	for round := 0; round < 3; round++ {
+		req.VV = vv.Encode()
+		acks := 0
+		rebase := vv
+		stale := false
+		for _, r := range order {
+			br := c.breakers[shard][r]
+			if !br.Allow() {
+				m.BreakerRejects.Inc()
+				continue
+			}
+			resp, err := c.exchange(ctx, replicas[r], req, span, c.Timeout, shard, r)
+			if err != nil {
+				br.Failure()
+				lastErr = err
+				continue
+			}
+			br.Success()
+			svv, perr := ParseVV(resp.VV)
+			if perr != nil {
+				lastErr = perr
+				continue
+			}
+			if vv.Compare(svv) == Before {
+				// The replica holds a strictly newer history our bump did
+				// not extend: the write was refused as stale. Remember the
+				// observed history to rebase onto.
+				stale = true
+				rebase = rebase.Merge(svv)
+				continue
+			}
+			acks++
+		}
+		if acks >= majority(len(replicas)) {
+			rec := gns.Record{Name: name, Addrs: append([]netaddr.Addr(nil), addrs...), Version: vv.Sum()}
+			c.cache.Put(name, cachedRec{rec: rec, vv: vv})
+			return vv, nil
+		}
+		if !stale {
+			break // unreachable replicas, not version conflicts: rebasing cannot help
+		}
+		staleExhausted = true
+		vv = rebase.Bump(c.origin)
+	}
+	m.QuorumFailures.Inc()
+	if lastErr == nil {
+		if staleExhausted {
+			lastErr = fmt.Errorf("replica history kept superseding the write")
+		} else {
+			lastErr = fmt.Errorf("all replica circuits open")
+		}
+	}
+	return nil, fmt.Errorf("%w: update %q on shard %d: %v", gns.ErrNoQuorum, name, shard, lastErr)
+}
+
+// Lookup resolves name against the owning shard's replicas in hedged,
+// health-ordered sequence: the primary gets HedgeDelay to answer, then
+// each further healthy replica is hedged in with the full Timeout; the
+// first answer at or beyond the client's read-your-writes floor wins. When
+// every reachable replica lags the floor, the client's own committed
+// record answers (fresh — it was quorum-committed). When no replica is
+// reachable at all, the last-known-good binding answers flagged
+// Record.Stale; with nothing cached, the quorum error surfaces.
+func (c *Client) Lookup(ctx context.Context, name string) (gns.Record, error) {
+	m := c.Metrics.orNop()
+	m.Lookups.Inc()
+	shard := ShardOf(name, len(c.shards))
+	span := c.startSpan(ctx, "gnsc-lookup", "name", name, "shard", strconv.Itoa(shard))
+	defer span.End()
+
+	cached, hasCached := c.cache.Get(name)
+	replicas := c.shards[shard]
+	req := gns.Request{Op: "vget", Name: name}
+	var notFound, lastErr error
+	legs, answered := 0, false
+	for _, r := range replicaOrder(name, len(replicas)) {
+		br := c.breakers[shard][r]
+		if !br.Allow() {
+			m.BreakerRejects.Inc()
+			continue
+		}
+		timeout := c.Timeout
+		if legs == 0 && c.HedgeDelay > 0 {
+			timeout = c.HedgeDelay
+		}
+		if legs > 0 {
+			m.Hedges.Inc()
+		}
+		legs++
+		resp, err := c.exchange(ctx, replicas[r], req, span, timeout, shard, r)
+		if err != nil {
+			if errors.Is(err, gns.ErrNotFound) {
+				// The replica answered authoritatively for its own copy;
+				// it is healthy, it just may lag the rest of the set.
+				br.Success()
+				answered = true
+				notFound = err
+				continue
+			}
+			br.Failure()
+			lastErr = err
+			continue
+		}
+		br.Success()
+		answered = true
+		rec := gns.Record{Name: resp.Name, Version: resp.Version}
+		for _, sa := range resp.Addrs {
+			a, aerr := netaddr.ParseAddr(sa)
+			if aerr != nil {
+				lastErr = aerr
+				continue
+			}
+			rec.Addrs = append(rec.Addrs, a)
+		}
+		vv, perr := ParseVV(resp.VV)
+		if perr != nil {
+			lastErr = perr
+			continue
+		}
+		if hasCached && vv.Compare(cached.vv) == Before {
+			// A lagging replica: it answered with history older than what
+			// this client has already seen committed. Keep hedging.
+			continue
+		}
+		c.cache.Put(name, cachedRec{rec: rec, vv: vv})
+		return rec, nil
+	}
+	if hasCached {
+		if answered {
+			// Replicas are up but every answer lagged the floor:
+			// read-your-writes from the client's own committed record.
+			m.ReadYourWrites.Inc()
+			return cached.rec, nil
+		}
+		// The whole replica set is unreachable: degraded mode.
+		rec := cached.rec
+		rec.Stale = true
+		c.stale.Add(1)
+		m.StaleServed.Inc()
+		return rec, nil
+	}
+	if notFound != nil {
+		return gns.Record{}, notFound
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("all replica circuits open")
+	}
+	return gns.Record{}, fmt.Errorf("%w: lookup %q on shard %d: %v", gns.ErrNoQuorum, name, shard, lastErr)
+}

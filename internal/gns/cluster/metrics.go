@@ -1,0 +1,63 @@
+package cluster
+
+import "locind/internal/obs"
+
+// ClientMetrics is the observability surface of the cluster client. Every
+// handle is nil-safe, so an unobserved client records nothing.
+type ClientMetrics struct {
+	// Lookups and Updates count client operations (not network attempts).
+	Lookups *obs.Counter
+	Updates *obs.Counter
+	// Hedges counts lookup legs sent beyond the primary replica — the
+	// hedged/failover reads.
+	Hedges *obs.Counter
+	// BreakerRejects counts replica legs skipped because the replica's
+	// circuit was open — failures avoided without touching the network.
+	BreakerRejects *obs.Counter
+	// BreakerOpens/BreakerProbes/BreakerCloses count circuit transitions.
+	BreakerOpens  *obs.Counter
+	BreakerProbes *obs.Counter
+	BreakerCloses *obs.Counter
+	// StaleServed counts lookups answered from the last-known-good cache
+	// because no replica of the owning shard was reachable.
+	StaleServed *obs.Counter
+	// ReadYourWrites counts lookups answered from the client's own
+	// committed write because every reachable replica lagged behind it.
+	ReadYourWrites *obs.Counter
+	// QuorumFailures counts updates that could not reach a majority.
+	QuorumFailures *obs.Counter
+	// CacheEvictions counts last-known-good bindings dropped by the
+	// bounded cache's epoch flushes.
+	CacheEvictions *obs.Counter
+	// Repaired counts replica records rewritten by anti-entropy passes.
+	Repaired *obs.Counter
+}
+
+// NewClientMetrics registers the cluster client families on reg. A nil
+// registry yields all-nil handles.
+func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Lookups:        reg.Counter("locind_gnscluster_lookups_total", "cluster lookups issued"),
+		Updates:        reg.Counter("locind_gnscluster_updates_total", "cluster updates issued"),
+		Hedges:         reg.Counter("locind_gnscluster_hedges_total", "lookup legs beyond the primary replica"),
+		BreakerRejects: reg.Counter("locind_gnscluster_breaker_rejects_total", "replica legs skipped by an open circuit"),
+		BreakerOpens:   reg.Counter("locind_gnscluster_breaker_transitions_total", "circuit transitions, by kind", "to", "open"),
+		BreakerProbes:  reg.Counter("locind_gnscluster_breaker_transitions_total", "circuit transitions, by kind", "to", "half-open"),
+		BreakerCloses:  reg.Counter("locind_gnscluster_breaker_transitions_total", "circuit transitions, by kind", "to", "closed"),
+		StaleServed:    reg.Counter("locind_gnscluster_stale_served_total", "lookups degraded to last-known-good bindings"),
+		ReadYourWrites: reg.Counter("locind_gnscluster_read_your_writes_total", "lookups answered from the client's own committed write"),
+		QuorumFailures: reg.Counter("locind_gnscluster_quorum_failures_total", "updates that missed the write quorum"),
+		CacheEvictions: reg.Counter("locind_gnscluster_cache_evictions_total", "last-known-good bindings dropped by epoch flushes"),
+		Repaired:       reg.Counter("locind_gnscluster_repaired_total", "replica records rewritten by anti-entropy"),
+	}
+}
+
+// noClientMetrics backs unobserved clients; its nil handles no-op.
+var noClientMetrics = &ClientMetrics{}
+
+func (m *ClientMetrics) orNop() *ClientMetrics {
+	if m == nil {
+		return noClientMetrics
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import "sort"
+
+// Repair runs one anti-entropy pass over every shard: for each name any
+// replica of the shard holds, the replicas' copies are reconciled to a
+// single winner — the record whose version vector supersedes the rest
+// under the same rule replicas apply online (causal dominance, then the
+// deterministic concurrent tiebreak) — carrying the merged history of all
+// copies, and the winner is written back to every replica that lagged or
+// diverged. The pass is deterministic: sorted names, replicas in index
+// order, pure VV rules. After a partition heals, one Repair converges the
+// shard's replicas byte-for-byte (StateDigest-identical across replicas of
+// a shard); it is idempotent, so repeated or overlapping passes are safe.
+//
+// Repair runs in-process against the replica stores — it is the
+// operator-side reconciliation job that lives next to the replicas, not a
+// client protocol — so it works even on freshly healed nodes whose network
+// is still converging. It returns the number of replica records rewritten
+// and counts them on m's Repaired handle (m may be nil).
+func Repair(c *Cluster, m *ClientMetrics) int {
+	repaired := 0
+	for s := 0; s < c.Shards(); s++ {
+		repaired += repairShard(c, s)
+	}
+	if repaired > 0 {
+		m.orNop().Repaired.Add(int64(repaired))
+	}
+	return repaired
+}
+
+// repairShard reconciles one shard's replica set.
+func repairShard(c *Cluster, shard int) int {
+	replicas := make([]*Store, 0, c.Replicas())
+	for r := 0; r < c.Replicas(); r++ {
+		replicas = append(replicas, c.Node(shard, r).Store)
+	}
+
+	// Sorted union of every replica's names: deterministic iteration over
+	// everything any copy of the shard has seen.
+	seen := map[string]bool{}
+	var names []string
+	for _, st := range replicas {
+		for _, n := range st.Names() {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	repaired := 0
+	for _, name := range names {
+		// Fold the replicas' copies into one winner carrying the merged
+		// history. Folding with Supersedes applies the exact rule replicas
+		// use online, so repair cannot pick a record a replica would later
+		// refuse.
+		var winner VRecord
+		have := false
+		for _, st := range replicas {
+			rec, ok := st.Get(name)
+			if !ok {
+				continue
+			}
+			if !have {
+				winner, have = rec, true
+				continue
+			}
+			if rec.VV.Supersedes(winner.VV) {
+				merged := rec
+				merged.VV = rec.VV.Merge(winner.VV)
+				winner = merged
+			} else {
+				winner.VV = winner.VV.Merge(rec.VV)
+			}
+		}
+		if !have {
+			continue
+		}
+		// Write the winner back to every replica that does not already
+		// hold exactly this history. Put is conditioned on Supersedes, so
+		// up-to-date replicas are untouched.
+		for _, st := range replicas {
+			cur, ok := st.Get(name)
+			if ok && cur.VV.Compare(winner.VV) == Equal {
+				continue
+			}
+			if st.Put(winner) {
+				repaired++
+			}
+		}
+	}
+	return repaired
+}

@@ -1,0 +1,163 @@
+package gns
+
+import (
+	"errors"
+	"testing"
+
+	"locind/internal/netaddr"
+)
+
+// failure_test.go covers the Service's failure edges: total replica loss,
+// quorum loss between two updates, convergence by Repair after staggered
+// fail/recover, and idempotent recovery.
+
+func failAll(s *Service) {
+	for i := 0; i < s.NumReplicas(); i++ {
+		s.Fail(i)
+	}
+}
+
+func TestAllReplicasFailed(t *testing.T) {
+	s, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := []netaddr.Addr{netaddr.MustParseAddr("10.0.0.1")}
+	if _, err := s.Update("n", addr); err != nil {
+		t.Fatal(err)
+	}
+	failAll(s)
+	if _, err := s.Update("n", addr); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("update with every replica down: %v, want ErrNoQuorum", err)
+	}
+	if _, err := s.Lookup("n"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("lookup with every replica down: %v, want ErrNoQuorum", err)
+	}
+	// Full recovery restores service with the pre-outage binding intact.
+	for i := 0; i < s.NumReplicas(); i++ {
+		s.Recover(i)
+	}
+	rec, err := s.Lookup("n")
+	if err != nil || rec.Addrs[0] != addr[0] {
+		t.Fatalf("post-recovery lookup: %+v err=%v", rec, err)
+	}
+}
+
+func TestQuorumLossMidUpdate(t *testing.T) {
+	s, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := []netaddr.Addr{netaddr.MustParseAddr("10.0.0.1")}
+	a2 := []netaddr.Addr{netaddr.MustParseAddr("10.0.0.2")}
+	if _, err := s.Update("n", a1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quorum vanishes between the two updates: the second one must fail,
+	// and the minority replica that absorbed it holds a version no majority
+	// committed.
+	members := s.ReplicasFor("n")
+	s.Fail(members[0])
+	s.Fail(members[1])
+	if _, err := s.Update("n", a2); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("mid-outage update: %v, want ErrNoQuorum", err)
+	}
+
+	// After recovery the failed update's residue must not be able to serve
+	// alongside the committed state unrepaired: Repair converges every
+	// replica onto the newest version present, and a subsequent committed
+	// update supersedes it everywhere.
+	s.Recover(members[0])
+	s.Recover(members[1])
+	repaired := s.Repair()
+	if repaired == 0 {
+		t.Fatal("repair found nothing after a minority-only write")
+	}
+	rec, err := s.Lookup("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Addrs[0] != a2[0] {
+		// The residue carried the highest version, so repair promoted it —
+		// the uncommitted write became durable rather than lost, which is
+		// the documented anti-entropy semantic (newest version wins).
+		t.Fatalf("post-repair binding %v, want the repaired residue %v", rec.Addrs, a2)
+	}
+	if s.Repair() != 0 {
+		t.Fatal("second repair pass found work — not converged")
+	}
+}
+
+func TestRepairAfterStaggeredFailRecover(t *testing.T) {
+	s, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	v1 := []netaddr.Addr{netaddr.MustParseAddr("10.1.0.1")}
+	v2 := []netaddr.Addr{netaddr.MustParseAddr("10.1.0.2")}
+	v3 := []netaddr.Addr{netaddr.MustParseAddr("10.1.0.3")}
+	for _, n := range names {
+		if _, err := s.Update(n, v1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Staggered outages: replica 0 misses round two, replica 1 misses round
+	// three — different replicas lag by different amounts.
+	s.Fail(0)
+	for _, n := range names {
+		if _, err := s.Update(n, v2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Recover(0)
+	s.Fail(1)
+	for _, n := range names {
+		if _, err := s.Update(n, v3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Recover(1)
+
+	s.Repair()
+	// Every name now reads the final round from any quorum.
+	for _, n := range names {
+		rec, err := s.Lookup(n)
+		if err != nil || rec.Addrs[0] != v3[0] {
+			t.Fatalf("lookup %q after staggered repair: %+v err=%v", n, rec, err)
+		}
+	}
+	if s.Repair() != 0 {
+		t.Fatal("repair not idempotent after staggered outages")
+	}
+}
+
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	s, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := []netaddr.Addr{netaddr.MustParseAddr("10.2.0.1")}
+	if _, err := s.Update("n", addr); err != nil {
+		t.Fatal(err)
+	}
+	s.Fail(1)
+	s.Fail(1) // double fail: no-op
+	if _, err := s.Update("n", addr); err != nil {
+		t.Fatalf("quorum of 2/3 should still commit: %v", err)
+	}
+	s.Recover(1)
+	s.Recover(1) // double recover: no-op, state unchanged
+	rec, err := s.Lookup("n")
+	if err != nil || rec.Addrs[0] != addr[0] {
+		t.Fatalf("lookup after double recover: %+v err=%v", rec, err)
+	}
+	// Repair after the idempotent recover converges the lagged replica
+	// exactly once; repeating the recover must not resurface work.
+	s.Repair()
+	if s.Repair() != 0 {
+		t.Fatal("double recover resurfaced repair work")
+	}
+}

@@ -14,7 +14,6 @@
 package gns
 
 import (
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -28,13 +27,11 @@ type Record struct {
 	Name    string
 	Addrs   []netaddr.Addr
 	Version uint64
+	// Stale marks a binding served from a last-known-good cache while the
+	// authoritative service was unreachable — the degraded operating mode.
+	// A fresh resolution always has Stale false.
+	Stale bool
 }
-
-// Errors returned by the service.
-var (
-	ErrNoQuorum = errors.New("gns: quorum unavailable")
-	ErrNotFound = errors.New("gns: name not found")
-)
 
 // Service is the replicated resolution service.
 type Service struct {

@@ -4,47 +4,35 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"locind/internal/netaddr"
 	"locind/internal/obs"
-	"locind/internal/reliable"
 )
 
-// Request is a UDP resolution-protocol message.
-type Request struct {
-	Op    string   `json:"op"` // "lookup" or "update"
-	Name  string   `json:"name"`
-	Addrs []string `json:"addrs,omitempty"`
-	// Trace is the originating client span's obs.TraceContext in Encode
-	// form ("<trace-id>-<span-id>"), absent when the client traces nothing.
-	// It parents the server-side handling span onto the client request span
-	// so both sides assemble into one causal tree; a mangled value is
-	// ignored, never an error.
-	Trace string `json:"trace,omitempty"`
+// Backend is the resolution store a Server fronts. *Service implements it;
+// the cluster package's replica stores implement it too, so one UDP serve
+// loop fronts both the single-box service and a cluster replica.
+type Backend interface {
+	Lookup(name string) (Record, error)
+	Update(name string, addrs []netaddr.Addr) (uint64, error)
 }
 
-// Response is the UDP reply.
-type Response struct {
-	OK      bool     `json:"ok"`
-	Err     string   `json:"err,omitempty"`
-	Name    string   `json:"name,omitempty"`
-	Addrs   []string `json:"addrs,omitempty"`
-	Version uint64   `json:"version,omitempty"`
+// OpHandler is the extension seam of the wire protocol: a Backend that also
+// implements it receives every op the core protocol does not know
+// ("vput"/"vget"/"ping" for cluster replication). handled=false falls
+// through to the unknown-op rejection.
+type OpHandler interface {
+	HandleOp(req Request) (resp Response, handled bool)
 }
 
-// maxDatagram bounds request/response sizes.
-const maxDatagram = 8192
-
-// Server exposes a Service over UDP, one datagram per request/response —
+// Server exposes a Backend over UDP, one datagram per request/response —
 // the same interaction pattern as DNS. The transport is any
 // net.PacketConn, so chaos tests interpose a faultnet wrapper.
 type Server struct {
-	svc     *Service
+	svc     Backend
 	conn    net.PacketConn
 	done    chan struct{}
 	metrics *ServerMetrics
@@ -56,7 +44,7 @@ type Server struct {
 // Serve starts a UDP server for svc on addr ("127.0.0.1:0" for tests). It
 // returns once the socket is bound; handling proceeds in the background
 // until Close is called or ctx is cancelled.
-func Serve(ctx context.Context, svc *Service, addr string) (*Server, error) {
+func Serve(ctx context.Context, svc Backend, addr string) (*Server, error) {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, err
@@ -67,13 +55,13 @@ func Serve(ctx context.Context, svc *Service, addr string) (*Server, error) {
 // ServePacketConn serves svc on an already-bound packet transport — the
 // seam where fault-injecting wrappers plug in. Cancelling ctx shuts the
 // server down as if Close had been called.
-func ServePacketConn(ctx context.Context, svc *Service, conn net.PacketConn) *Server {
+func ServePacketConn(ctx context.Context, svc Backend, conn net.PacketConn) *Server {
 	return ServePacketConnObserved(ctx, svc, conn, nil)
 }
 
 // ServePacketConnObserved is ServePacketConn with serve-loop metrics
 // attached; m may be nil for an unobserved server.
-func ServePacketConnObserved(ctx context.Context, svc *Service, conn net.PacketConn, m *ServerMetrics) *Server {
+func ServePacketConnObserved(ctx context.Context, svc Backend, conn net.PacketConn, m *ServerMetrics) *Server {
 	s := &Server{svc: svc, conn: conn, done: make(chan struct{}), metrics: m}
 	go s.loop()
 	go func() {
@@ -123,7 +111,7 @@ func (s *Server) loop() {
 		}
 		var resp Response
 		if n > maxDatagram {
-			resp = Response{Err: fmt.Sprintf("gns: datagram exceeds %d bytes", maxDatagram)}
+			resp = errorResponse(fmt.Errorf("%w: datagram exceeds %d bytes", ErrBadRequest, maxDatagram))
 		} else {
 			resp = s.handle(buf[:n])
 		}
@@ -138,7 +126,7 @@ func (s *Server) loop() {
 		if err != nil {
 			// A response that cannot be marshalled still deserves an
 			// answer the client can parse, not a silent drop.
-			out = []byte(`{"ok":false,"err":"gns: internal marshal failure"}`)
+			out = []byte(`{"ok":false,"code":5,"err":"gns: internal marshal failure"}`)
 		}
 		s.conn.WriteTo(out, peer) //nolint:errcheck // lost replies look like drops; the client retries
 	}
@@ -150,12 +138,12 @@ func (s *Server) loop() {
 func (s *Server) handle(raw []byte) (resp Response) {
 	defer func() {
 		if r := recover(); r != nil {
-			resp = Response{Err: fmt.Sprintf("gns: internal error: %v", r)}
+			resp = errorResponse(fmt.Errorf("%w: %v", ErrInternal, r))
 		}
 	}()
 	var req Request
 	if err := json.Unmarshal(raw, &req); err != nil {
-		return Response{Err: "bad request: " + err.Error()}
+		return errorResponse(fmt.Errorf("%w: %v", ErrBadRequest, err))
 	}
 	// Continue the client's trace: the serve span parents onto the client
 	// request span named in the wire context (a fresh root when absent or
@@ -168,7 +156,7 @@ func (s *Server) handle(raw []byte) (resp Response) {
 		s.m().Lookups.Inc()
 		rec, err := s.svc.Lookup(req.Name)
 		if err != nil {
-			return Response{Err: err.Error()}
+			return errorResponse(err)
 		}
 		out := Response{OK: true, Name: rec.Name, Version: rec.Version}
 		for _, a := range rec.Addrs {
@@ -181,187 +169,21 @@ func (s *Server) handle(raw []byte) (resp Response) {
 		for _, sa := range req.Addrs {
 			a, err := netaddr.ParseAddr(sa)
 			if err != nil {
-				return Response{Err: "bad address: " + err.Error()}
+				return errorResponse(fmt.Errorf("%w: bad address: %v", ErrBadRequest, err))
 			}
 			addrs = append(addrs, a)
 		}
 		ver, err := s.svc.Update(req.Name, addrs)
 		if err != nil {
-			return Response{Err: err.Error()}
+			return errorResponse(err)
 		}
 		return Response{OK: true, Name: req.Name, Version: ver}
 	default:
-		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
-	}
-}
-
-// Client is the resolver side of the UDP protocol. Datagrams vanish on
-// lossy paths, so every round trip runs under a reliable.Policy:
-// per-attempt timeouts, exponential backoff with deterministic jitter, an
-// optional shared retry budget, and — for lookups — graceful degradation to
-// the last known binding when the network stays down (the stale-mapping
-// operating regime of loc/ID caches).
-type Client struct {
-	ServerAddr string
-	// Timeout bounds each attempt (dial + round trip).
-	Timeout time.Duration
-	// Retries is how many extra attempts follow a failed one.
-	Retries int
-	// Backoff schedules pauses between attempts.
-	Backoff reliable.Backoff
-	// Rand supplies backoff jitter; nil disables jitter. Chaos tests seed
-	// this for reproducible retry schedules.
-	Rand *rand.Rand
-	// Budget, when non-nil, caps retries across all calls on this client.
-	Budget *reliable.Budget
-	// Sleep overrides the inter-attempt wait (virtual clock hook).
-	Sleep func(ctx context.Context, d time.Duration) error
-	// AllowStale serves the last successfully resolved binding when a
-	// lookup exhausts its retries, marking the Record's provenance via
-	// StaleServed.
-	AllowStale bool
-	// Metrics, when non-nil, counts the retry loop's activity (attempts,
-	// retries, backoff, give-ups) into obs handles.
-	Metrics *reliable.Metrics
-	// Tracer, when non-nil, records one request span per Lookup/Update with
-	// per-attempt child spans, and propagates the span's TraceContext in
-	// the request framing so server-side spans parent onto it. When the
-	// caller's ctx already carries a span (obs.ContextWith), the request
-	// span nests under that instead of starting a new trace.
-	Tracer *obs.Tracer
-
-	cache    reliable.Cache[string, Record]
-	attempts atomic.Int64
-	stale    atomic.Int64
-}
-
-// NewClient builds a client with sane defaults: 500ms per attempt, 3
-// retries, exponential backoff from 50ms capped at 1s.
-func NewClient(serverAddr string) *Client {
-	return &Client{
-		ServerAddr: serverAddr,
-		Timeout:    500 * time.Millisecond,
-		Retries:    3,
-		Backoff:    reliable.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
-	}
-}
-
-func (c *Client) policy(span *obs.Span) reliable.Policy {
-	return reliable.Policy{
-		MaxAttempts: c.Retries + 1,
-		PerAttempt:  c.Timeout,
-		Backoff:     c.Backoff,
-		Rand:        c.Rand,
-		Budget:      c.Budget,
-		Sleep:       c.Sleep,
-		Metrics:     c.Metrics,
-		TraceSpan:   span,
-	}
-}
-
-// startSpan opens the request span for one client call: a child of the
-// span carried by ctx when there is one (so gns traffic nests under the
-// driving experiment), else a fresh root on c.Tracer. Nil when tracing is
-// off on both paths.
-func (c *Client) startSpan(ctx context.Context, name string, labels ...string) *obs.Span {
-	if parent := obs.FromContext(ctx); parent != nil {
-		return parent.Child(name, labels...)
-	}
-	return c.Tracer.Start(name, labels...)
-}
-
-func (c *Client) roundTrip(ctx context.Context, req Request, span *obs.Span) (Response, error) {
-	req.Trace = span.Context().Encode()
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return Response{}, err
-	}
-	var resp Response
-	attempts, err := c.policy(span).Do(ctx, func(ctx context.Context) error {
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		if dl, ok := ctx.Deadline(); ok {
-			conn.SetDeadline(dl) //nolint:errcheck
-		}
-		if _, err := conn.Write(payload); err != nil {
-			return err
-		}
-		buf := make([]byte, maxDatagram+1)
-		n, err := conn.Read(buf)
-		if err != nil {
-			return err
-		}
-		var r Response
-		if err := json.Unmarshal(buf[:n], &r); err != nil {
-			return err
-		}
-		resp = r
-		return nil
-	})
-	c.attempts.Add(int64(attempts))
-	if err != nil {
-		return Response{}, fmt.Errorf("gns: no response after %d attempts: %w", attempts, err)
-	}
-	return resp, nil
-}
-
-// Attempts returns the total number of network attempts this client has
-// made — the quantity chaos tests compare across same-seed runs.
-func (c *Client) Attempts() int64 { return c.attempts.Load() }
-
-// StaleServed returns how many lookups were answered from the stale cache.
-func (c *Client) StaleServed() int64 { return c.stale.Load() }
-
-// Lookup resolves a name over UDP. ctx bounds the whole retry loop; each
-// attempt is additionally capped by c.Timeout. With AllowStale set, a
-// lookup that exhausts its retries degrades to the last binding this
-// client resolved successfully (StaleServed counts such answers).
-func (c *Client) Lookup(ctx context.Context, name string) (Record, error) {
-	span := c.startSpan(ctx, "gns-lookup", "name", name)
-	defer span.End()
-	resp, err := c.roundTrip(ctx, Request{Op: "lookup", Name: name}, span)
-	if err != nil {
-		if c.AllowStale {
-			if rec, ok := c.cache.Get(name); ok {
-				c.stale.Add(1)
-				return rec, nil
+		if h, ok := s.svc.(OpHandler); ok {
+			if resp, handled := h.HandleOp(req); handled {
+				return resp
 			}
 		}
-		return Record{}, err
+		return errorResponse(fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op))
 	}
-	if !resp.OK {
-		return Record{}, fmt.Errorf("gns: lookup %q: %s", name, resp.Err)
-	}
-	rec := Record{Name: resp.Name, Version: resp.Version}
-	for _, sa := range resp.Addrs {
-		a, err := netaddr.ParseAddr(sa)
-		if err != nil {
-			return Record{}, err
-		}
-		rec.Addrs = append(rec.Addrs, a)
-	}
-	c.cache.Put(name, rec)
-	return rec, nil
-}
-
-// Update installs a binding over UDP. ctx bounds the whole retry loop.
-func (c *Client) Update(ctx context.Context, name string, addrs []netaddr.Addr) (uint64, error) {
-	span := c.startSpan(ctx, "gns-update", "name", name)
-	defer span.End()
-	req := Request{Op: "update", Name: name}
-	for _, a := range addrs {
-		req.Addrs = append(req.Addrs, a.String())
-	}
-	resp, err := c.roundTrip(ctx, req, span)
-	if err != nil {
-		return 0, err
-	}
-	if !resp.OK {
-		return 0, fmt.Errorf("gns: update %q: %s", name, resp.Err)
-	}
-	return resp.Version, nil
 }

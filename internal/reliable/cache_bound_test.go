@@ -1,0 +1,101 @@
+package reliable
+
+import (
+	"fmt"
+	"testing"
+
+	"locind/internal/obs"
+)
+
+func TestCacheUnboundedByDefault(t *testing.T) {
+	var c Cache[int, int]
+	for i := 0; i < 1000; i++ {
+		c.Put(i, i)
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("unbounded cache holds %d entries, want 1000", c.Len())
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("unbounded cache evicted %d", c.Evictions())
+	}
+}
+
+func TestCacheBoundEpochFlush(t *testing.T) {
+	var c Cache[string, int]
+	c.Bound(3, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if c.Len() != 3 || c.Evictions() != 0 {
+		t.Fatalf("at capacity: len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+	// Re-putting an existing key at capacity must not flush.
+	c.Put("b", 20)
+	if c.Len() != 3 || c.Evictions() != 0 {
+		t.Fatalf("overwrite at capacity flushed: len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+	if v, _ := c.Get("b"); v != 20 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	// A fourth distinct key crosses the cap: the whole epoch flushes and the
+	// new entry starts the next one.
+	c.Put("d", 4)
+	if c.Len() != 1 {
+		t.Fatalf("after flush: len=%d, want 1", c.Len())
+	}
+	if c.Evictions() != 3 {
+		t.Fatalf("after flush: evictions=%d, want 3", c.Evictions())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("flushed entry still present")
+	}
+	if v, ok := c.Get("d"); !ok || v != 4 {
+		t.Fatalf("new-epoch entry missing: %d %v", v, ok)
+	}
+}
+
+func TestCacheBoundNeverExceedsLimit(t *testing.T) {
+	var c Cache[int, int]
+	c.Bound(16, nil)
+	for i := 0; i < 1000; i++ {
+		c.Put(i, i)
+		if c.Len() > 16 {
+			t.Fatalf("cache grew to %d entries past limit 16", c.Len())
+		}
+	}
+	// 1000 distinct keys over a 16-slot cache: every full epoch flushed.
+	if c.Evictions() < 900 {
+		t.Fatalf("evictions=%d, expected most of 1000 inserts flushed", c.Evictions())
+	}
+}
+
+func TestCacheEvictionCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("test_evictions_total", "test")
+	var c Cache[string, int]
+	c.Bound(2, ctr)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // flush of 2
+	if got := ctr.Value(); got != 2 {
+		t.Fatalf("counter=%d, want 2", got)
+	}
+	if c.Evictions() != 2 {
+		t.Fatalf("evictions=%d, want 2", c.Evictions())
+	}
+}
+
+func TestCacheFallbackStillWorksBounded(t *testing.T) {
+	var c Cache[string, string]
+	c.Bound(2, nil)
+	fail := fmt.Errorf("down")
+	if _, _, err := c.Fallback("k", func() (string, error) { return "", fail }); err == nil {
+		t.Fatal("cold-miss fallback should surface the fetch error")
+	}
+	if v, stale, err := c.Fallback("k", func() (string, error) { return "fresh", nil }); err != nil || stale || v != "fresh" {
+		t.Fatalf("fresh fetch: %q stale=%v err=%v", v, stale, err)
+	}
+	if v, stale, err := c.Fallback("k", func() (string, error) { return "", fail }); err != nil || !stale || v != "fresh" {
+		t.Fatalf("degraded fetch: %q stale=%v err=%v", v, stale, err)
+	}
+}

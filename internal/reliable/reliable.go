@@ -238,9 +238,36 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // Cache is a last-known-good store keyed by K: the stale-mapping fallback
 // of loc/ID resolution. It is safe for concurrent use.
+//
+// The zero value is unbounded. Bound gives it a capacity with epoch-flush
+// eviction (the core.Memo idiom): crossing the cap drops the whole map in
+// one O(1) swap rather than tracking per-entry recency, which is the right
+// trade for a fallback cache — a flushed entry is repopulated by the next
+// successful fetch, and million-name runs cannot grow the map without
+// limit.
 type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]V
+	mu        sync.Mutex
+	m         map[K]V
+	limit     int
+	evictions int64
+	evictCtr  *obs.Counter
+}
+
+// Bound caps the cache at limit entries (0 restores unbounded) and, when
+// ctr is non-nil, counts flushed entries into it. Safe to call at any time;
+// an over-full cache is flushed on its next Put.
+func (c *Cache[K, V]) Bound(limit int, ctr *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = limit
+	c.evictCtr = ctr
+}
+
+// Evictions returns how many entries epoch flushes have dropped.
+func (c *Cache[K, V]) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Put stores the freshest value for k.
@@ -249,6 +276,16 @@ func (c *Cache[K, V]) Put(k K, v V) {
 	defer c.mu.Unlock()
 	if c.m == nil {
 		c.m = map[K]V{}
+	}
+	if c.limit > 0 && len(c.m) >= c.limit {
+		if _, ok := c.m[k]; !ok {
+			// Epoch flush: one more distinct key would cross the cap, so
+			// the whole epoch is dropped and restarted with this entry.
+			n := int64(len(c.m))
+			c.evictions += n
+			c.evictCtr.Add(n)
+			c.m = make(map[K]V, c.limit)
+		}
 	}
 	c.m[k] = v
 }
