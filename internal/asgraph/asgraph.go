@@ -9,7 +9,6 @@
 package asgraph
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -261,17 +260,28 @@ func (rt *RouteTable) Path(x int) []int {
 	if rt.class[x] == ClassNone {
 		return nil
 	}
-	path := make([]int, 0, rt.dist[x]+1)
+	return rt.AppendPath(make([]int, 0, rt.dist[x]+1), x)
+}
+
+// AppendPath appends the full AS path from x to the destination onto dst and
+// returns the extended slice (dst unchanged when x has no route). Callers
+// minting many paths — bgp.BuildCollectors walks one per (origin, feed peer)
+// — can slab them into one backing array instead of allocating per path.
+func (rt *RouteTable) AppendPath(dst []int, x int) []int {
+	if rt.class[x] == ClassNone {
+		return dst
+	}
+	start := len(dst)
 	for v := x; ; v = int(rt.parent[v]) {
-		path = append(path, v)
+		dst = append(dst, v)
 		if v == rt.Dest {
 			break
 		}
-		if len(path) > len(rt.class) {
+		if len(dst)-start > len(rt.class) {
 			panic("asgraph: cycle in route table")
 		}
 	}
-	return path
+	return dst
 }
 
 // RoutesTo computes the selected valley-free route of every AS toward
@@ -363,14 +373,14 @@ func (g *Graph) RoutesTo(d int) *RouteTable {
 	// Stage 3: provider routes. Every AS with a selected route exports it to
 	// its customers; a customer lacking customer/peer routes selects the
 	// shortest such provider route. Dijkstra over provider→customer edges.
-	pq := &asHeap{}
+	pq := make(asHeap, 0, g.n)
 	for x := 0; x < g.n; x++ {
 		if rt.class[x] != ClassNone {
-			heap.Push(pq, asItem{as: int32(x), dist: rt.dist[x]})
+			pq.push(asItem{as: int32(x), dist: rt.dist[x]})
 		}
 	}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(asItem)
+	for len(pq) > 0 {
+		it := pq.pop()
 		x := it.as
 		if it.dist > rt.dist[x] {
 			continue // stale entry
@@ -382,13 +392,13 @@ func (g *Graph) RoutesTo(d int) *RouteTable {
 				rt.class[c] = ClassProvider
 				rt.dist[c] = nd
 				rt.parent[c] = x
-				heap.Push(pq, asItem{as: c, dist: nd})
+				pq.push(asItem{as: c, dist: nd})
 			case ClassProvider:
 				if nd < rt.dist[c] || (nd == rt.dist[c] && x < rt.parent[c]) {
 					if nd < rt.dist[c] {
 						rt.dist[c] = nd
 						rt.parent[c] = x
-						heap.Push(pq, asItem{as: c, dist: nd})
+						pq.push(asItem{as: c, dist: nd})
 					} else {
 						rt.parent[c] = x
 					}
@@ -404,23 +414,61 @@ type asItem struct {
 	dist int32
 }
 
+// less orders the Dijkstra frontier by (dist, as). The tuple is a total
+// order over distinct items, so pop order — and with it route selection —
+// does not depend on insertion order or heap internals.
+func (a asItem) less(b asItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.as < b.as
+}
+
+// asHeap is a hand-rolled binary min-heap. container/heap funnels every
+// Push/Pop through interface{}, boxing one asItem per operation — at
+// WorldBuild scale (one Dijkstra per prefix origin) that boxing alone was a
+// top-three allocator. A typed sift keeps the frontier allocation-free
+// beyond the backing array itself.
 type asHeap []asItem
 
-func (h asHeap) Len() int { return len(h) }
-func (h asHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func (h *asHeap) push(it asItem) {
+	s := append(*h, it)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].less(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].as < h[j].as
 }
-func (h asHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *asHeap) Push(x interface{}) { *h = append(*h, x.(asItem)) }
-func (h *asHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *asHeap) pop() asItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].less(s[l]) {
+			m = r
+		}
+		if !s[m].less(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // ShortestUndirectedHops ignores policy entirely and returns the hop

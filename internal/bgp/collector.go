@@ -104,6 +104,8 @@ func BuildCollectors(g *asgraph.Graph, pt *PrefixTable, specs []Spec, rng *rand.
 		if err != nil {
 			return nil, err
 		}
+		// Every announced prefix will land in every collector's RIB.
+		c.RIB = NewRIBSized(len(pt.All()))
 		cols = append(cols, c)
 	}
 
@@ -113,26 +115,58 @@ func BuildCollectors(g *asgraph.Graph, pt *PrefixTable, specs []Spec, rng *rand.
 	for _, po := range pt.All() {
 		byOrigin[po.Origin] = append(byOrigin[po.Origin], po)
 	}
+	// Collectors overlap heavily on feed peers (every well-fed collector
+	// seeds the same mega-transits), so walk each distinct peer's AS path
+	// once per origin and let all sessions share it. The paths for one
+	// origin are carved from a single exactly-sized slab; the slab must be
+	// fresh per origin because the RIBs retain the ASPath slices forever.
+	peerIdx := map[int]int{}
+	var peers []int
+	for _, c := range cols {
+		for _, s := range c.Sessions {
+			if _, ok := peerIdx[s.PeerAS]; !ok {
+				peerIdx[s.PeerAS] = len(peers)
+				peers = append(peers, s.PeerAS)
+			}
+		}
+	}
+	paths := make([][]int, len(peers))
 	for origin := 0; origin < g.N(); origin++ {
 		pos := byOrigin[origin]
 		if len(pos) == 0 {
 			continue
 		}
 		rt := g.RoutesTo(origin)
+		need := 0
+		for _, p := range peers {
+			if rt.Has(p) {
+				need += rt.PathLen(p) + 1
+			}
+		}
+		slab := make([]int, 0, need)
+		for i, p := range peers {
+			if !rt.Has(p) {
+				paths[i] = nil
+				continue
+			}
+			lo := len(slab)
+			slab = rt.AppendPath(slab, p)
+			paths[i] = slab[lo:len(slab):len(slab)]
+		}
 		for _, c := range cols {
 			for _, s := range c.Sessions {
-				if !rt.Has(s.PeerAS) {
+				path := paths[peerIdx[s.PeerAS]]
+				if path == nil {
 					continue
 				}
-				path := rt.Path(s.PeerAS)
 				for _, po := range pos {
-					c.RIB.Add(Route{
+					c.RIB.AddHint(Route{
 						Prefix:  po.Prefix,
 						NextHop: s.PeerAS,
 						MED:     s.MED,
 						ASPath:  path,
 						Rel:     s.Rel,
-					})
+					}, len(c.Sessions))
 				}
 			}
 		}

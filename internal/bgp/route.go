@@ -86,9 +86,28 @@ func NewRIB() *RIB {
 	return &RIB{byPrefix: map[netaddr.Prefix][]Route{}}
 }
 
+// NewRIBSized returns an empty RIB pre-sized for about n prefixes, sparing
+// bulk loaders the incremental map growth of NewRIB.
+func NewRIBSized(n int) *RIB {
+	return &RIB{byPrefix: make(map[netaddr.Prefix][]Route, n)}
+}
+
 // Add inserts a candidate route.
 func (r *RIB) Add(rt Route) {
 	r.byPrefix[rt.Prefix] = append(r.byPrefix[rt.Prefix], rt)
+}
+
+// AddHint is Add with a capacity hint for the prefix's candidate list: a
+// prefix's first insert allocates room for hint routes up front. Collector
+// builds know the exact ceiling (one candidate per feed session), which
+// turns the per-prefix append-growth reallocations into a single right-sized
+// allocation.
+func (r *RIB) AddHint(rt Route, hint int) {
+	rs, ok := r.byPrefix[rt.Prefix]
+	if !ok && hint > 1 {
+		rs = make([]Route, 0, hint)
+	}
+	r.byPrefix[rt.Prefix] = append(rs, rt)
 }
 
 // NumPrefixes returns the number of distinct prefixes with at least one
@@ -137,6 +156,7 @@ func (r *RIB) Prefixes() []netaddr.Prefix {
 // prefix, in a longest-prefix-match trie.
 func (r *RIB) DeriveFIB() *FIB {
 	f := &FIB{}
+	f.trie.Grow(len(r.byPrefix))
 	for p, rs := range r.byPrefix {
 		best := rs[0]
 		for _, rt := range rs[1:] {

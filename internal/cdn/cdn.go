@@ -8,9 +8,9 @@ package cdn
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
@@ -262,11 +262,36 @@ func (d *Deployment) SitesByClass(c Class) []Site {
 	return out
 }
 
+// FNV-1a 64-bit parameters (hash/fnv), inlined so edgeAddr hashes on the
+// stack instead of allocating a hash.Hash64 and fmt boxing per call — the
+// function runs once per candidate address of every simulated site.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvBytes(h uint64, bs []byte) uint64 {
+	for _, b := range bs {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
 // edgeAddr mints the stable address a given edge AS uses for a given site
 // (real CDNs hand out per-customer VIPs; keeping it a deterministic hash
-// keeps timelines reproducible and sets comparable across hours).
+// keeps timelines reproducible and sets comparable across hours). The hash
+// is FNV-1a over "site|edgeAS|generation", byte-identical to the previous
+// fnv.New64a/Fprintf formulation (pinned by TestEdgeAddrMatchesFNVReference)
+// but allocation-free.
 func (d *Deployment) edgeAddr(site names.Name, edgeAS int, generation int) netaddr.Addr {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d", site, edgeAS, generation)
-	return d.pt.AddrIn(edgeAS, h.Sum64()%(1<<16))
+	var buf [20]byte
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(site); i++ {
+		h = (h ^ uint64(site[i])) * fnvPrime64
+	}
+	h = (h ^ '|') * fnvPrime64
+	h = fnvBytes(h, strconv.AppendInt(buf[:0], int64(edgeAS), 10))
+	h = (h ^ '|') * fnvPrime64
+	h = fnvBytes(h, strconv.AppendInt(buf[:0], int64(generation), 10))
+	return d.pt.AddrIn(edgeAS, h%(1<<16))
 }

@@ -1,12 +1,15 @@
 package cdn
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
+	"locind/internal/names"
 	"locind/internal/netaddr"
 	"locind/internal/stats"
 )
@@ -207,6 +210,75 @@ func TestEventsPerDay(t *testing.T) {
 	}
 }
 
+// A boundary event at Hour == Hours is legal (an event landing exactly as
+// the window closes) and used to index out of range when Hours was a
+// multiple of 24; it must get its own day bucket instead.
+func TestEventsPerDayBoundary(t *testing.T) {
+	tl := Timeline{Hours: 48, Events: []Event{{Hour: 1}, {Hour: 48}}}
+	per := tl.EventsPerDay()
+	if len(per) != 3 || per[0] != 1 || per[1] != 0 || per[2] != 1 {
+		t.Fatalf("EventsPerDay = %v, want [1 0 1]", per)
+	}
+}
+
+// syntheticTimeline builds a replay-only timeline of the given length: a
+// two-address set where every event retires the previously added address
+// and introduces a fresh one.
+func syntheticTimeline(events int) Timeline {
+	tl := Timeline{Hours: events + 2, Initial: []netaddr.Addr{10, 20}}
+	for i := 0; i < events; i++ {
+		ev := Event{Hour: i + 1, Added: []netaddr.Addr{netaddr.Addr(1000 + i)}}
+		if i == 0 {
+			ev.Removed = []netaddr.Addr{10}
+		} else {
+			ev.Removed = []netaddr.Addr{netaddr.Addr(1000 + i - 1)}
+		}
+		tl.Events = append(tl.Events, ev)
+	}
+	return tl
+}
+
+// Walk must allocate only its fixed warm-up buffers: the total allocation
+// count of a full replay may not depend on how many events it visits, which
+// pins the per-event steady-state cost at zero.
+func TestWalkSteadyStateAllocs(t *testing.T) {
+	walkAllocs := func(tl *Timeline) float64 {
+		return testing.AllocsPerRun(10, func() {
+			n := 0
+			tl.Walk(func(_ Event, _, _ []netaddr.Addr) { n++ })
+			if n != len(tl.Events) {
+				t.Fatalf("walk visited %d of %d events", n, len(tl.Events))
+			}
+		})
+	}
+	small, large := syntheticTimeline(16), syntheticTimeline(512)
+	a, b := walkAllocs(&small), walkAllocs(&large)
+	if a != b {
+		t.Fatalf("walk allocations grow with event count: 16 events → %.0f allocs, 512 events → %.0f", a, b)
+	}
+}
+
+// The inlined FNV-1a in edgeAddr must stay byte-identical to the
+// fnv.New64a + Fprintf formulation it replaced, or every content timeline
+// in every fixture would silently change.
+func TestEdgeAddrMatchesFNVReference(t *testing.T) {
+	d := genDeployment(t, 3)
+	ref := func(site names.Name, edgeAS, generation int) netaddr.Addr {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%d|%d", site, edgeAS, generation)
+		return d.pt.AddrIn(edgeAS, h.Sum64()%(1<<16))
+	}
+	for _, site := range []names.Name{d.Sites[0].Name, d.Sites[len(d.Sites)-1].Name, "a.b.example.test", ""} {
+		for _, as := range []int{d.Sites[0].OriginAS, d.EdgePool[0], d.EdgePool[len(d.EdgePool)-1]} {
+			for _, gen := range []int{0, 1, 7, 1003, 2048} {
+				if got, want := d.edgeAddr(site, as, gen), ref(site, as, gen); got != want {
+					t.Fatalf("edgeAddr(%q, %d, %d) = %v, reference FNV gives %v", site, as, gen, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestTimelinesDeterministic(t *testing.T) {
 	d := genDeployment(t, 7)
 	a := d.Timelines(48, rand.New(rand.NewSource(9)))
@@ -252,6 +324,15 @@ func TestCompleteTable(t *testing.T) {
 func TestClassString(t *testing.T) {
 	if Popular.String() != "popular" || Unpopular.String() != "unpopular" {
 		t.Fatal("class names wrong")
+	}
+}
+
+func BenchmarkTimelineWalk(b *testing.B) {
+	tl := syntheticTimeline(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Walk(func(_ Event, _, _ []netaddr.Addr) {})
 	}
 }
 

@@ -3,7 +3,7 @@ package cdn
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"locind/internal/names"
 	"locind/internal/netaddr"
@@ -32,9 +32,17 @@ type Timeline struct {
 // EventCount returns the number of mobility events over the whole timeline.
 func (tl *Timeline) EventCount() int { return len(tl.Events) }
 
-// EventsPerDay buckets the events into 24-hour days.
+// EventsPerDay buckets the events into 24-hour days. The bucket count covers
+// every event hour, so a boundary event at Hour == Hours (legal by
+// construction: an event that lands exactly as the window closes) gets its
+// own day instead of an out-of-range index.
 func (tl *Timeline) EventsPerDay() []int {
 	days := (tl.Hours + 23) / 24
+	for i := range tl.Events {
+		if d := tl.Events[i].Hour / 24; d >= days {
+			days = d + 1
+		}
+	}
 	out := make([]int, days)
 	for _, e := range tl.Events {
 		out[e.Hour/24]++
@@ -42,58 +50,126 @@ func (tl *Timeline) EventsPerDay() []int {
 	return out
 }
 
-// SetAt reconstructs the address set in effect at the given hour (after any
-// event in that hour), sorted ascending.
-func (tl *Timeline) SetAt(hour int) []netaddr.Addr {
-	set := map[netaddr.Addr]bool{}
-	for _, a := range tl.Initial {
-		set[a] = true
+// setWalker maintains the sorted address set of a timeline replay
+// incrementally: the current set is a sorted slice, and each event is
+// applied as a single ordered merge of (current minus Removed) with Added
+// into a ping-pong buffer. After the buffers warm up to the set's size,
+// applying an event allocates nothing — the property the per-event alloc
+// regression test pins and the Fig 11b/ablation hot loop depends on.
+type setWalker struct {
+	cur, next []netaddr.Addr // ping-pong buffers; cur is the live set
+	rem, add  []netaddr.Addr // sorted scratch copies of one event's deltas
+}
+
+// reset loads the initial set (sorted, deduplicated — the same
+// canonicalization the map-based replay produced) and primes the buffers.
+func (w *setWalker) reset(initial []netaddr.Addr) {
+	w.cur = append(w.cur[:0], initial...)
+	slices.Sort(w.cur)
+	w.cur = slices.Compact(w.cur)
+	if cap(w.next) < len(w.cur) {
+		w.next = make([]netaddr.Addr, 0, len(w.cur)+8)
 	}
-	for _, e := range tl.Events {
-		if e.Hour > hour {
-			break
-		}
-		for _, a := range e.Removed {
-			delete(set, a)
-		}
-		for _, a := range e.Added {
-			set[a] = true
+}
+
+// sortAddrs is an insertion sort: event deltas hold one or two addresses,
+// where a general-purpose sort only adds overhead.
+func sortAddrs(xs []netaddr.Addr) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
-	out := make([]netaddr.Addr, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+}
+
+// emitAddr appends v unless it repeats the previously emitted address; the
+// merged stream is non-decreasing, so this single guard deduplicates.
+func emitAddr(out []netaddr.Addr, v netaddr.Addr) []netaddr.Addr {
+	if n := len(out); n > 0 && out[n-1] == v {
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return append(out, v)
+}
+
+// apply merges one event into the set, returning the after-set (which lives
+// in the walker's spare buffer until flip installs it as current). The merge
+// reproduces the map semantics exactly: deletions first, then additions, so
+// an address that is both removed and re-added stays present.
+func (w *setWalker) apply(removed, added []netaddr.Addr) []netaddr.Addr {
+	w.rem = append(w.rem[:0], removed...)
+	sortAddrs(w.rem)
+	w.add = append(w.add[:0], added...)
+	sortAddrs(w.add)
+	out := w.next[:0]
+	cur, add, rem := w.cur, w.add, w.rem
+	i, j, k := 0, 0, 0
+	for i < len(cur) || j < len(add) {
+		switch {
+		case i < len(cur) && j < len(add) && cur[i] == add[j]:
+			// Present and re-added: present afterwards even if also removed.
+			v := cur[i]
+			i, j = i+1, j+1
+			out = emitAddr(out, v)
+		case j >= len(add) || (i < len(cur) && cur[i] < add[j]):
+			v := cur[i]
+			i++
+			for k < len(rem) && rem[k] < v {
+				k++
+			}
+			if k < len(rem) && rem[k] == v {
+				continue // removed and not re-added
+			}
+			out = emitAddr(out, v)
+		default:
+			v := add[j]
+			j++
+			out = emitAddr(out, v)
+		}
+	}
+	w.next = out
 	return out
 }
 
+// flip installs the last after-set as current.
+func (w *setWalker) flip() { w.cur, w.next = w.next, w.cur }
+
+// runTo replays events through the given hour (inclusive).
+func (w *setWalker) runTo(tl *Timeline, hour int) {
+	w.reset(tl.Initial)
+	for i := range tl.Events {
+		e := &tl.Events[i]
+		if e.Hour > hour {
+			break
+		}
+		w.apply(e.Removed, e.Added)
+		w.flip()
+	}
+}
+
+// SetAt reconstructs the address set in effect at the given hour (after any
+// event in that hour), sorted ascending. The returned slice is freshly
+// allocated and safe to retain.
+func (tl *Timeline) SetAt(hour int) []netaddr.Addr {
+	var w setWalker
+	w.runTo(tl, hour)
+	return slices.Clone(w.cur)
+}
+
 // Walk replays the timeline, calling fn with the before/after sets of every
-// event in order. Sets are sorted; fn must not retain them across calls.
+// event in order. Sets are sorted; fn must not retain them across calls —
+// they alias the walker's two ping-pong buffers, which are overwritten by
+// the next event's merge.
 func (tl *Timeline) Walk(fn func(e Event, before, after []netaddr.Addr)) {
-	cur := map[netaddr.Addr]bool{}
-	for _, a := range tl.Initial {
-		cur[a] = true
+	if len(tl.Events) == 0 {
+		return
 	}
-	materialize := func() []netaddr.Addr {
-		out := make([]netaddr.Addr, 0, len(cur))
-		for a := range cur {
-			out = append(out, a)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		return out
-	}
-	before := materialize()
-	for _, e := range tl.Events {
-		for _, a := range e.Removed {
-			delete(cur, a)
-		}
-		for _, a := range e.Added {
-			cur[a] = true
-		}
-		after := materialize()
-		fn(e, before, after)
-		before = after
+	var w setWalker
+	w.reset(tl.Initial)
+	for i := range tl.Events {
+		e := &tl.Events[i]
+		after := w.apply(e.Removed, e.Added)
+		fn(*e, w.cur, after)
+		w.flip()
 	}
 }
 
@@ -131,6 +207,49 @@ func (d *Deployment) TimelinesParallel(hours int, rng *rand.Rand, parallel int) 
 		out[i] = d.simulateSite(d.Sites[i], hours, rand.New(rand.NewSource(seeds[i])))
 	})
 	return out
+}
+
+// eventBuilder accumulates a timeline's events with every address delta in
+// one shared slab, so a timeline of n events costs two allocations (slab +
+// event headers) instead of ~2n individual Removed/Added slices.
+type eventBuilder struct {
+	recs []eventRec
+	slab []netaddr.Addr
+}
+
+type eventRec struct {
+	hour         int
+	remLo, remHi int
+	addHi        int
+}
+
+func (b *eventBuilder) add(hour int, removed, added []netaddr.Addr) {
+	lo := len(b.slab)
+	b.slab = append(b.slab, removed...)
+	mid := len(b.slab)
+	b.slab = append(b.slab, added...)
+	b.recs = append(b.recs, eventRec{hour: hour, remLo: lo, remHi: mid, addHi: len(b.slab)})
+}
+
+// finish materializes the Event slice; Removed/Added are full-capacity
+// subslices of the slab, nil when empty (matching the per-event append
+// construction this replaces).
+func (b *eventBuilder) finish() []Event {
+	if len(b.recs) == 0 {
+		return nil
+	}
+	evs := make([]Event, len(b.recs))
+	for i, r := range b.recs {
+		e := &evs[i]
+		e.Hour = r.hour
+		if r.remHi > r.remLo {
+			e.Removed = b.slab[r.remLo:r.remHi:r.remHi]
+		}
+		if r.addHi > r.remHi {
+			e.Added = b.slab[r.remHi:r.addHi:r.addHi]
+		}
+	}
+	return evs
 }
 
 func (d *Deployment) simulateSite(site Site, hours int, rng *rand.Rand) Timeline {
@@ -191,8 +310,12 @@ func (d *Deployment) simulateSite(site Site, hours int, rng *rand.Rand) Timeline
 	}
 
 	tl := Timeline{Site: site, Hours: hours, Initial: st.snapshot()}
+	var b eventBuilder
+	// An hour sees at most two removals and two additions (one per churn
+	// mechanism in each class branch below), so fixed scratch suffices.
+	var remBuf, addBuf [2]netaddr.Addr
 	for h := 1; h < hours; h++ {
-		var removed, added []netaddr.Addr
+		removed, added := remBuf[:0], addBuf[:0]
 		if site.Class == Popular {
 			// Origin load-balancer rotation: swap one active origin
 			// address for a spare.
@@ -246,9 +369,10 @@ func (d *Deployment) simulateSite(site Site, hours int, rng *rand.Rand) Timeline
 			}
 		}
 		if len(removed) > 0 || len(added) > 0 {
-			tl.Events = append(tl.Events, Event{Hour: h, Removed: removed, Added: added})
+			b.add(h, removed, added)
 		}
 	}
+	tl.Events = b.finish()
 	return tl
 }
 
@@ -258,7 +382,7 @@ func (st *siteState) snapshot() []netaddr.Addr {
 	for _, a := range st.edgeActive {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -267,7 +391,7 @@ func sortedKeys(m map[int]netaddr.Addr) []int {
 	for k := range m {
 		ks = append(ks, k)
 	}
-	sort.Ints(ks)
+	slices.Sort(ks)
 	return ks
 }
 
@@ -284,10 +408,14 @@ func clamp01(x float64) float64 {
 // CompleteTable builds the complete name-forwarding input of §3.3.2 for the
 // given timelines at a given hour: each site name mapped to its address
 // set. The caller (internal/core) turns address sets into ports per router.
+// One walker is reused across all timelines, so the table costs one
+// allocation per name (the retained set) plus the pre-sized map.
 func CompleteTable(tls []Timeline, hour int) map[names.Name][]netaddr.Addr {
 	out := make(map[names.Name][]netaddr.Addr, len(tls))
+	var w setWalker
 	for i := range tls {
-		out[tls[i].Site.Name] = tls[i].SetAt(hour)
+		w.runTo(&tls[i], hour)
+		out[tls[i].Site.Name] = slices.Clone(w.cur)
 	}
 	return out
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -238,31 +239,62 @@ func (s *StrategyStats) Add(o StrategyStats) {
 	s.Union.Add(o.Union)
 }
 
-// ContentUpdateStatsFused replays a timeline once and evaluates all three
-// §3.3.1 strategies in that single Timeline.Walk. Each event's after-set is
-// resolved exactly once and carried into the next event as its before-set,
-// so a timeline of n events costs n+1 set resolutions instead of the ~6n a
-// strategy-at-a-time replay pays. The counts are identical to running
-// ContentUpdateStats once per strategy.
-func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
+// fusedEval is the reusable scratch of the fused replay: two ping-pong
+// sorted port sets and the cumulative union set, all plain int slices. The
+// map-and-string-key formulation this replaces allocated a port-set map, an
+// output slice, and a canonical string per event; the slice formulation
+// allocates only while the buffers warm up, so a shard of timelines replays
+// with a constant allocation count no matter how many events it holds.
+type fusedEval struct {
+	ports, prev, union []int
+}
+
+// appendPortSet writes the sorted, deduplicated eligible-port set of addrs
+// into buf (reusing its capacity) — PortSet without the map and the fresh
+// output slice.
+func appendPortSet(r PortLookup, addrs []netaddr.Addr, buf []int) []int {
+	buf = buf[:0]
+	for _, a := range addrs {
+		if p, ok := r.Port(a); ok {
+			buf = append(buf, p)
+		}
+	}
+	slices.Sort(buf)
+	return slices.Compact(buf)
+}
+
+// unionAdd merges the sorted port set into the sorted cumulative union,
+// reporting whether any never-before-seen port appeared (§3.3.3's update
+// condition). Port sets are tiny, so the per-port binary search + insert is
+// cheaper than any hashing.
+func (f *fusedEval) unionAdd(ports []int) bool {
+	grew := false
+	for _, p := range ports {
+		i, found := slices.BinarySearch(f.union, p)
+		if found {
+			continue
+		}
+		f.union = slices.Insert(f.union, i, p)
+		grew = true
+	}
+	return grew
+}
+
+// replay is one timeline's fused walk; union state resets per timeline.
+func (f *fusedEval) replay(r RouteLookup, tl *cdn.Timeline) StrategyStats {
 	var out StrategyStats
-	union := map[int]bool{}
 	primed := false
-	var prevKey string
 	var prevBest int
 	var prevBestOK bool
+	f.union = f.union[:0]
 	tl.Walk(func(_ cdn.Event, before, after []netaddr.Addr) {
 		if !primed {
-			ports := PortSet(r, before)
-			prevKey = portSetKey(ports)
+			f.prev = appendPortSet(r, before, f.prev)
 			prevBest, prevBestOK = BestPortOf(r, before)
-			for _, p := range ports {
-				union[p] = true
-			}
+			f.union = append(f.union[:0], f.prev...)
 			primed = true
 		}
-		ports := PortSet(r, after)
-		key := portSetKey(ports)
+		f.ports = appendPortSet(r, after, f.ports)
 		best, bestOK := BestPortOf(r, after)
 
 		out.BestPort.Events++
@@ -270,31 +302,39 @@ func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
 			out.BestPort.Updates++
 		}
 		out.Flooding.Events++
-		if key != prevKey {
+		if !slices.Equal(f.ports, f.prev) {
 			out.Flooding.Updates++
 		}
 		out.Union.Events++
-		grew := false
-		for _, p := range ports {
-			if !union[p] {
-				union[p] = true
-				grew = true
-			}
-		}
-		if grew {
+		if f.unionAdd(f.ports) {
 			out.Union.Updates++
 		}
-		prevKey, prevBest, prevBestOK = key, best, bestOK
+		f.ports, f.prev = f.prev, f.ports
+		prevBest, prevBestOK = best, bestOK
 	})
 	return out
 }
 
+// ContentUpdateStatsFused replays a timeline once and evaluates all three
+// §3.3.1 strategies in that single Timeline.Walk. Each event's after-set is
+// resolved exactly once and carried into the next event as its before-set,
+// so a timeline of n events costs n+1 set resolutions instead of the ~6n a
+// strategy-at-a-time replay pays. The counts are identical to running
+// ContentUpdateStats once per strategy.
+func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
+	var f fusedEval
+	return f.replay(r, tl)
+}
+
 // ContentUpdateStatsAllFused pools ContentUpdateStatsFused over many
-// timelines (union state is per timeline, as in ContentUpdateStatsAll).
+// timelines (union state is per timeline, as in ContentUpdateStatsAll),
+// sharing one scratch evaluator so the whole pool replays with a constant
+// number of allocations.
 func ContentUpdateStatsAllFused(r RouteLookup, tls []cdn.Timeline) StrategyStats {
+	var f fusedEval
 	var s StrategyStats
 	for i := range tls {
-		s.Add(ContentUpdateStatsFused(r, &tls[i]))
+		s.Add(f.replay(r, &tls[i]))
 	}
 	return s
 }

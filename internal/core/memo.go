@@ -9,6 +9,25 @@ import (
 	"locind/internal/obs"
 )
 
+// memoStripes fixes the stripe count. 64 stripes keep the worst-case
+// contention at 1/64th of a single lock even on machines far wider than the
+// fan-out internal/par produces, while the whole lock table still fits in a
+// few cache lines of metadata.
+const memoStripes = 64
+
+// memoStripe is one lock-striped shard of the cache: an ordinary Go map
+// under an RWMutex. Plain maps store memoEntry values inline, so the hot
+// hit path is a read-lock plus one map probe with no interface boxing —
+// the sync.Map formulation this replaces allocated an interface header per
+// store and funneled every insert through one shared dirty map, which is
+// exactly the contention the flat Fig11b parallel curve measured. The pad
+// keeps adjacent stripes' mutexes off one another's cache lines.
+type memoStripe struct {
+	mu sync.RWMutex
+	m  map[netaddr.Addr]memoEntry
+	_  [24]byte
+}
+
 // Memo wraps a RouteLookup with a per-router addr → route cache. The
 // evaluation replays the same address sets against the same FIB millions of
 // times (every timeline event re-resolves its before/after sets), and the
@@ -22,10 +41,10 @@ import (
 // scheduling. Because the lookup is pure, neither does eviction: a capped
 // memo recomputes what it dropped and returns identical answers.
 type Memo struct {
-	r     RouteLookup
-	cache atomic.Pointer[sync.Map] // netaddr.Addr → memoEntry
-	limit int64                    // approximate entry cap; 0 = unbounded
-	size  atomic.Int64             // entries stored in the current epoch
+	r       RouteLookup
+	stripes [memoStripes]memoStripe
+	limit   int64        // approximate entry cap; 0 = unbounded
+	size    atomic.Int64 // entries stored across all stripes
 
 	// nil-safe obs handles; unobserved memos pay one predictable branch.
 	hits, misses, evictions *obs.Counter
@@ -57,16 +76,23 @@ func NewMemoMetrics(reg *obs.Registry) *MemoMetrics {
 func NewMemo(r RouteLookup) *Memo { return NewMemoObserved(r, 0, nil) }
 
 // NewMemoObserved wraps r with an approximate entry cap and obs counters.
-// A limit of 0 means unbounded; when the cap is crossed the whole cache is
-// flushed in one epoch swap (O(1), no per-entry bookkeeping) and the
-// dropped entries are counted as evictions. ms may be nil.
+// A limit of 0 means unbounded; when the cap is crossed the stripe that
+// received the overflowing insert is flushed in one map swap (O(1) beyond
+// the garbage it frees, no per-entry bookkeeping) and the dropped entries
+// are counted as evictions. ms may be nil.
 func NewMemoObserved(r RouteLookup, limit int, ms *MemoMetrics) *Memo {
 	m := &Memo{r: r, limit: int64(limit)}
 	if ms != nil {
 		m.hits, m.misses, m.evictions = ms.Hits, ms.Misses, ms.Evictions
 	}
-	m.cache.Store(&sync.Map{})
 	return m
+}
+
+// stripeOf maps an address onto its stripe with a Fibonacci hash: addresses
+// are dense structured integers (AS index × host counter), so taking raw
+// low bits would pile whole prefixes onto one stripe.
+func (m *Memo) stripeOf(a netaddr.Addr) *memoStripe {
+	return &m.stripes[(uint64(a)*0x9E3779B97F4A7C15)>>(64-6)]
 }
 
 // Port returns the memoized output port (next-hop AS) for a.
@@ -80,23 +106,42 @@ func (m *Memo) Port(a netaddr.Addr) (int, bool) {
 
 // RouteFor returns the memoized selected route for a.
 func (m *Memo) RouteFor(a netaddr.Addr) (bgp.Route, bool) {
-	c := m.cache.Load()
-	if e, hit := c.Load(a); hit {
+	s := m.stripeOf(a)
+	s.mu.RLock()
+	ent, hit := s.m[a]
+	s.mu.RUnlock()
+	if hit {
 		m.hits.Inc()
-		ent := e.(memoEntry)
 		return ent.rt, ent.ok
 	}
 	m.misses.Inc()
 	rt, ok := m.r.RouteFor(a)
-	c.Store(a, memoEntry{rt: rt, ok: ok})
-	if m.limit > 0 && m.size.Add(1) > m.limit {
-		// Epoch flush: swing the pointer to an empty map. Concurrent
-		// stores racing into the old epoch are simply dropped — the
-		// underlying lookup is pure, so nothing observable changes; the
-		// cap and the eviction count are approximate by design.
-		if m.cache.CompareAndSwap(c, &sync.Map{}) {
-			m.evictions.Add(m.size.Swap(0))
+	s.mu.Lock()
+	if _, raced := s.m[a]; !raced {
+		if s.m == nil {
+			s.m = make(map[netaddr.Addr]memoEntry)
 		}
+		s.m[a] = memoEntry{rt: rt, ok: ok}
+		if m.limit > 0 {
+			m.size.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	if m.limit > 0 && m.size.Load() > m.limit {
+		// Epoch flush of the overflowing stripe: drop its map wholesale.
+		// Concurrent lookups racing into the flushed stripe simply miss —
+		// the underlying lookup is pure, so nothing observable changes;
+		// the cap and the eviction count are approximate by design. The
+		// global size counter (rather than a per-stripe one) is what makes
+		// tiny caps behave: a cap of 4 must evict even when the working
+		// set happens to spread across many stripes.
+		s.mu.Lock()
+		if n := int64(len(s.m)); n > 0 {
+			s.m = nil
+			m.size.Add(-n)
+			m.evictions.Add(n)
+		}
+		s.mu.Unlock()
 	}
 	return rt, ok
 }

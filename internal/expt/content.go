@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
@@ -59,12 +60,38 @@ type Fig11bcResult struct {
 	Flooding []RouterRate
 }
 
+// collectorProgress fires a per-collector done callback when the last of a
+// collector's shards actually completes. par.ForEach finishes tasks in
+// arbitrary order, so "the shard with the last index" is not "the last
+// shard to finish" — each collector counts down its outstanding shards
+// atomically instead, and exactly one shard (the true last) observes zero.
+type collectorProgress struct {
+	remaining []atomic.Int32
+	done      func()
+}
+
+func newCollectorProgress(collectors, shards int, done func()) *collectorProgress {
+	p := &collectorProgress{remaining: make([]atomic.Int32, collectors), done: done}
+	for i := range p.remaining {
+		p.remaining[i].Store(int32(shards))
+	}
+	return p
+}
+
+// shardDone records one finished shard of collector ci.
+func (p *collectorProgress) shardDone(ci int) {
+	if p.remaining[ci].Add(-1) == 0 {
+		p.done()
+	}
+}
+
 // RunFig11bc computes Figure 11(b) or 11(c) depending on class. The work
 // fans out over (collector × timeline-shard) pairs: every collector shares
-// one route Memo across its shards and replays each shard's timelines in a
-// single fused walk that evaluates both strategies at once. Per-shard
-// partial counts are integer totals summed in shard order, so the figure is
-// bit-identical at every parallelism degree.
+// one striped route Memo across its shards and replays each shard's
+// timelines in a single fused walk that evaluates both strategies at once.
+// Shards are oversubscribed (par.ShardsFor) because timeline weight is
+// heavy-tailed. Per-shard partial counts are integer totals summed in shard
+// order, so the figure is bit-identical at every parallelism degree.
 func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 	popular, unpopular := w.TimelinesByClass()
 	tls := popular
@@ -72,19 +99,18 @@ func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 		tls = unpopular
 	}
 	cols := w.RouteViews
-	shards := par.Shards(len(tls), par.Workers(w.Cfg.Parallel))
+	shards := par.ShardsFor(len(tls), w.Cfg.Parallel)
 	memos := make([]*core.Memo, len(cols))
 	for i, c := range cols {
 		memos[i] = w.Cfg.memo(c.FIB)
 	}
+	prog := newCollectorProgress(len(cols), len(shards), w.Cfg.Obs.collectorDone)
 	partial := make([]core.StrategyStats, len(cols)*len(shards))
 	par.ForEach(w.Cfg.Parallel, len(partial), func(t int) {
 		ci, si := t/len(shards), t%len(shards)
 		sh := shards[si]
 		partial[t] = core.ContentUpdateStatsAllFused(memos[ci], tls[sh[0]:sh[1]])
-		if si == len(shards)-1 {
-			w.Cfg.Obs.collectorDone()
-		}
+		prog.shardDone(ci)
 	})
 	res := Fig11bcResult{Class: class}
 	res.BestPort = make([]RouterRate, len(cols))
@@ -94,7 +120,15 @@ func RunFig11bc(w *World, class cdn.Class) Fig11bcResult {
 		for si := 0; si < len(shards); si++ {
 			tot.Add(partial[ci*len(shards)+si])
 		}
-		res.Events = tot.BestPort.Events
+		// Every collector replays the same timelines, so the event totals
+		// must agree; a mismatch means a sharding bug lost or double-counted
+		// events, which must not be papered over by keeping the last count.
+		if ci == 0 {
+			res.Events = tot.BestPort.Events
+		} else if tot.BestPort.Events != res.Events {
+			panic(fmt.Sprintf("expt: collector %q saw %d events, %q saw %d — shard accounting bug",
+				c.Name, tot.BestPort.Events, cols[0].Name, res.Events))
+		}
 		res.BestPort[ci] = RouterRate{
 			Name: c.Name, Rate: tot.BestPort.Rate(), NextHopDegree: c.FIB.NextHopDegree(), Sessions: len(c.Sessions),
 		}
@@ -215,14 +249,34 @@ type AblationResult struct {
 // RouteViews collector (highest controlled-flooding rate, first on ties).
 // One fused walk per collector yields all three strategy totals at once, so
 // finding the argmax no longer triggers repeated BestPort/UnionFlooding
-// replays every time a new flooding maximum appears.
+// replays every time a new flooding maximum appears. Like RunFig11bc the
+// fan-out is (collector × timeline-shard) — collectors alone are too few
+// and too unequal to keep a pool busy — and the per-collector reduction
+// sums integer partials in shard order, so the result is bit-identical at
+// every parallelism degree (union state is per timeline, never crossing a
+// shard boundary).
 func RunStrategyAblation(w *World) AblationResult {
 	popular, _ := w.TimelinesByClass()
 	cols := w.RouteViews
-	sets := par.Map(w.Cfg.Parallel, len(cols), func(i int) core.StrategyStats {
-		defer w.Cfg.Obs.collectorDone()
-		return core.ContentUpdateStatsAllFused(w.Cfg.memo(cols[i].FIB), popular)
+	shards := par.ShardsFor(len(popular), w.Cfg.Parallel)
+	memos := make([]*core.Memo, len(cols))
+	for i, c := range cols {
+		memos[i] = w.Cfg.memo(c.FIB)
+	}
+	prog := newCollectorProgress(len(cols), len(shards), w.Cfg.Obs.collectorDone)
+	partial := make([]core.StrategyStats, len(cols)*len(shards))
+	par.ForEach(w.Cfg.Parallel, len(partial), func(t int) {
+		ci, si := t/len(shards), t%len(shards)
+		sh := shards[si]
+		partial[t] = core.ContentUpdateStatsAllFused(memos[ci], popular[sh[0]:sh[1]])
+		prog.shardDone(ci)
 	})
+	sets := make([]core.StrategyStats, len(cols))
+	for ci := range cols {
+		for si := 0; si < len(shards); si++ {
+			sets[ci].Add(partial[ci*len(shards)+si])
+		}
+	}
 	best := -1
 	for i := range sets {
 		if best < 0 || sets[i].Flooding.Rate() > sets[best].Flooding.Rate() {

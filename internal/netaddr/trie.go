@@ -29,6 +29,28 @@ func (t *Trie[V]) root() int32 {
 // Len returns the number of prefixes stored in the trie.
 func (t *Trie[V]) Len() int { return t.size }
 
+// Grow pre-sizes the node arena for roughly n additional prefixes, so bulk
+// builders (FIB derivation inserts every prefix of a RIB in one pass) avoid
+// the append-doubling reallocations of growing the arena a node at a time.
+// The estimate charges each prefix its full bit depth minus the shared stem;
+// it only ever reserves capacity, never shrinks.
+func (t *Trie[V]) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	t.root()
+	// Prefixes in one table share long stems; 24 nodes per prefix is a
+	// generous estimate that still stays within small multiples of the
+	// final size for realistic FIBs.
+	need := len(t.nodes) + n*24
+	if cap(t.nodes) >= need {
+		return
+	}
+	ns := make([]trieNode[V], len(t.nodes), need)
+	copy(ns, t.nodes)
+	t.nodes = ns
+}
+
 // Insert associates v with prefix p, replacing any existing value. It reports
 // whether the prefix was newly inserted (false means replaced).
 func (t *Trie[V]) Insert(p Prefix, v V) bool {

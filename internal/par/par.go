@@ -185,3 +185,17 @@ func Shards(n, k int) [][2]int {
 	}
 	return out
 }
+
+// shardOversub is how many shards ShardsFor cuts per worker. Experiment
+// shards are heavy-tailed (a popular timeline carries orders of magnitude
+// more events than a tail one), so exactly-one-shard-per-worker leaves the
+// pool idle behind the unlucky worker that drew the heavy shard; a few
+// shards per worker lets the atomic claim counter rebalance dynamically
+// while each shard stays large enough to amortize claim overhead.
+const shardOversub = 4
+
+// ShardsFor splits [0, n) for a pool of Workers(workers) goroutines,
+// oversubscribing shardOversub shards per worker for dynamic load balance.
+func ShardsFor(n, workers int) [][2]int {
+	return Shards(n, shardOversub*Workers(workers))
+}

@@ -71,3 +71,24 @@ func TestShards(t *testing.T) {
 		t.Fatal("empty range must shard to nil")
 	}
 }
+
+func TestShardsFor(t *testing.T) {
+	// Oversubscribed shards still cover [0, n) exactly once, in order.
+	for _, tc := range []struct{ n, workers int }{{100, 4}, {3, 8}, {0, 4}, {1, 1}} {
+		shards := ShardsFor(tc.n, tc.workers)
+		next := 0
+		for _, sh := range shards {
+			if sh[0] != next || sh[1] <= sh[0] {
+				t.Fatalf("n=%d workers=%d: bad shard %v after %d", tc.n, tc.workers, sh, next)
+			}
+			next = sh[1]
+		}
+		if next != tc.n {
+			t.Fatalf("n=%d workers=%d: shards cover up to %d", tc.n, tc.workers, next)
+		}
+	}
+	// A big enough input gets shardOversub shards per worker.
+	if got, want := len(ShardsFor(1000, 2)), shardOversub*2; got != want {
+		t.Fatalf("ShardsFor(1000, 2) cut %d shards, want %d", got, want)
+	}
+}
