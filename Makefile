@@ -10,7 +10,7 @@ GO ?= go
 #   make bench BENCH_SET='.'
 BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint allocguard bench clean
 
 all: build lint test
 
@@ -25,6 +25,13 @@ race:
 
 lint:
 	$(GO) run ./cmd/lintlocind ./...
+	$(GO) run ./cmd/allocguard -check ./...
+
+# allocguard regenerates the //lint:zeroalloc guard tests
+# (allocguard_gen_test.go in each annotated package) after annotations
+# change; `make lint` verifies they are current.
+allocguard:
+	$(GO) run ./cmd/allocguard ./...
 
 # bench runs the selected benchmarks once and records the result as the
 # next free BENCH_<n>.json in the repo root, together with an obs snapshot

@@ -1,0 +1,79 @@
+// Command allocguard generates and verifies the //lint:zeroalloc guard
+// tests (internal/lint/allocguard).
+//
+// Usage:
+//
+//	go run ./cmd/allocguard [-check] [packages]
+//
+// With no packages, ./... is scanned. By default every annotated package
+// gets a regenerated allocguard_gen_test.go (and orphaned guard files are
+// removed); with -check nothing is written — stale, missing, and orphaned
+// guard files are reported and the exit status is 1, which is how the CI
+// lint gate turns "annotation changed without regenerating" into a
+// failure.
+//
+// Exit status: 0 clean, 1 divergence found (-check), 2 usage or scan
+// failure.
+//
+//lint:file-allow errflow diagnostics go to stdout/stderr; a failed print has nowhere better to be reported
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locind/internal/lint/allocguard"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("allocguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "verify generated guard files are current instead of writing them")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := allocguard.List(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *check {
+		probs, err := allocguard.Check(pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, p := range probs {
+			fmt.Fprintln(stdout, p)
+		}
+		if len(probs) > 0 {
+			fmt.Fprintf(stderr, "allocguard: %d guard file(s) out of date\n", len(probs))
+			return 1
+		}
+		return 0
+	}
+
+	written, removed, err := allocguard.Write(pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, p := range written {
+		fmt.Fprintf(stdout, "allocguard: wrote %s\n", p)
+	}
+	for _, p := range removed {
+		fmt.Fprintf(stdout, "allocguard: removed orphaned %s\n", p)
+	}
+	return 0
+}

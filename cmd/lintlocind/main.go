@@ -37,6 +37,15 @@ type jsonFinding struct {
 	Message string `json:"message"`
 }
 
+// jsonReport is the full machine-readable output: surviving findings plus
+// the //lint:allow suppression accounting, so CI artifacts show not only
+// that the tree is clean but how many findings are being waved through.
+type jsonReport struct {
+	Findings          []jsonFinding  `json:"findings"`
+	Suppressed        int            `json:"suppressed"`
+	SuppressedByCheck map[string]int `json:"suppressed_by_check,omitempty"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -96,21 +105,26 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags, err := lint.Run(pkgs, analyzers)
+	rep, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	findings := make([]jsonFinding, len(diags))
-	for i, d := range diags {
+	findings := make([]jsonFinding, len(rep.Diags))
+	for i, d := range rep.Diags {
 		findings[i] = jsonFinding{
 			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
 			Check: d.Check, Message: d.Message,
 		}
 	}
+	report := jsonReport{
+		Findings:          findings,
+		Suppressed:        rep.Suppressed,
+		SuppressedByCheck: rep.SuppressedByCheck,
+	}
 	if *outFile != "" {
-		data, err := json.MarshalIndent(findings, "", "  ")
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*outFile, append(data, '\n'), 0o644)
 		}
@@ -122,17 +136,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range rep.Diags {
 			fmt.Fprintln(stdout, d)
 		}
+		if rep.Suppressed > 0 {
+			fmt.Fprintf(stderr, "lintlocind: %d finding(s) suppressed by //lint:allow\n", rep.Suppressed)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "lintlocind: %d finding(s)\n", len(diags))
+	if len(rep.Diags) > 0 {
+		fmt.Fprintf(stderr, "lintlocind: %d finding(s)\n", len(rep.Diags))
 		return 1
 	}
 	return 0

@@ -431,6 +431,9 @@ func (a asItem) less(b asItem) bool {
 // beyond the backing array itself.
 type asHeap []asItem
 
+// push sifts it into the heap.
+//
+//lint:zeroalloc per op once the backing array has grown to capacity
 func (h *asHeap) push(it asItem) {
 	s := append(*h, it)
 	*h = s
@@ -445,6 +448,9 @@ func (h *asHeap) push(it asItem) {
 	}
 }
 
+// pop removes and returns the minimum item.
+//
+//lint:zeroalloc per op
 func (h *asHeap) pop() asItem {
 	s := *h
 	top := s[0]

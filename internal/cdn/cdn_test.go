@@ -238,26 +238,6 @@ func syntheticTimeline(events int) Timeline {
 	return tl
 }
 
-// Walk must allocate only its fixed warm-up buffers: the total allocation
-// count of a full replay may not depend on how many events it visits, which
-// pins the per-event steady-state cost at zero.
-func TestWalkSteadyStateAllocs(t *testing.T) {
-	walkAllocs := func(tl *Timeline) float64 {
-		return testing.AllocsPerRun(10, func() {
-			n := 0
-			tl.Walk(func(_ Event, _, _ []netaddr.Addr) { n++ })
-			if n != len(tl.Events) {
-				t.Fatalf("walk visited %d of %d events", n, len(tl.Events))
-			}
-		})
-	}
-	small, large := syntheticTimeline(16), syntheticTimeline(512)
-	a, b := walkAllocs(&small), walkAllocs(&large)
-	if a != b {
-		t.Fatalf("walk allocations grow with event count: 16 events → %.0f allocs, 512 events → %.0f", a, b)
-	}
-}
-
 // The inlined FNV-1a in edgeAddr must stay byte-identical to the
 // fnv.New64a + Fprintf formulation it replaced, or every content timeline
 // in every fixture would silently change.

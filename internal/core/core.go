@@ -321,6 +321,8 @@ func (f *fusedEval) replay(r RouteLookup, tl *cdn.Timeline) StrategyStats {
 // so a timeline of n events costs n+1 set resolutions instead of the ~6n a
 // strategy-at-a-time replay pays. The counts are identical to running
 // ContentUpdateStats once per strategy.
+//
+//lint:zeroalloc per event after the evaluator's scratch warms up
 func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
 	var f fusedEval
 	return f.replay(r, tl)
@@ -330,6 +332,8 @@ func ContentUpdateStatsFused(r RouteLookup, tl *cdn.Timeline) StrategyStats {
 // timelines (union state is per timeline, as in ContentUpdateStatsAll),
 // sharing one scratch evaluator so the whole pool replays with a constant
 // number of allocations.
+//
+//lint:zeroalloc per event; one shared scratch across the whole pool
 func ContentUpdateStatsAllFused(r RouteLookup, tls []cdn.Timeline) StrategyStats {
 	var f fusedEval
 	var s StrategyStats

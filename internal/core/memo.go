@@ -96,6 +96,8 @@ func (m *Memo) stripeOf(a netaddr.Addr) *memoStripe {
 }
 
 // Port returns the memoized output port (next-hop AS) for a.
+//
+//lint:zeroalloc per hit once the stripe's entry map is warm
 func (m *Memo) Port(a netaddr.Addr) (int, bool) {
 	rt, ok := m.RouteFor(a)
 	if !ok {
@@ -105,6 +107,8 @@ func (m *Memo) Port(a netaddr.Addr) (int, bool) {
 }
 
 // RouteFor returns the memoized selected route for a.
+//
+//lint:zeroalloc per hit once the stripe's entry map is warm
 func (m *Memo) RouteFor(a netaddr.Addr) (bgp.Route, bool) {
 	s := m.stripeOf(a)
 	s.mu.RLock()

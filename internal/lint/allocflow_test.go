@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locind/internal/lint"
+	"locind/internal/lint/linttest"
+)
+
+func TestAllocflow(t *testing.T) {
+	linttest.Run(t, "testdata/allocflow", lint.Allocflow,
+		"locind/internal/hotfix", "locind/internal/hotdirty",
+		"locind/internal/hotcross", "locind/internal/hotleaf")
+}

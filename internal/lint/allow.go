@@ -24,6 +24,9 @@ var knownChecks = map[string]bool{
 	"seedflow":    true,
 	"errflow":     true,
 	"ctxflow":     true,
+	"allocflow":   true,
+	"lockflow":    true,
+	"atomicflow":  true,
 	"all":         true,
 }
 
@@ -73,6 +76,15 @@ func collectAllows(pkg *Package) (*allowIndex, []Diagnostic) {
 			for _, c := range cg.List {
 				kind, rest, ok := cutDirective(c.Text)
 				if !ok {
+					// A //lint: comment that is neither an allow form nor a
+					// zeroalloc annotation is a typo'd directive: report it,
+					// or it would silently annotate nothing.
+					if _, zok := ParseZeroalloc(c.Text); !zok && strings.HasPrefix(c.Text, "//lint:") {
+						malformed = append(malformed, Diagnostic{
+							Pos: pkg.Fset.Position(c.Pos()), Check: directiveCheck,
+							Message: fmt.Sprintf("unknown //lint: directive %q", firstField(c.Text)),
+						})
+					}
 					continue
 				}
 				cpos := pkg.Fset.Position(c.Pos())
@@ -115,6 +127,15 @@ func cutDirective(text string) (kind, rest string, ok bool) {
 		}
 	}
 	return "", "", false
+}
+
+// firstField returns the directive head (up to the first space) for error
+// messages, so a long trailing comment does not flood the diagnostic.
+func firstField(text string) string {
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		return text[:i]
+	}
+	return text
 }
 
 func fileSet(m map[string]map[string]bool, file string) map[string]bool {

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicflow enforces the all-or-nothing rule of sync/atomic: a variable or
+// field that is accessed through atomic.Add/Load/Store/Swap/CompareAndSwap
+// anywhere must be accessed atomically everywhere. A single plain read
+// beside an atomic increment is a data race the race detector only catches
+// when the schedule cooperates — the static check catches it on every run.
+//
+// The modern fix is almost always to migrate the field to a typed atomic
+// (atomic.Int64, atomic.Pointer[T]) as internal/obs and internal/par do,
+// which makes non-atomic access unrepresentable; this analyzer exists for
+// the legacy pointer-passing form that still compiles.
+//
+// Scope is per package: a field atomically accessed in one package and
+// plainly accessed in another would be missed, but this module keeps field
+// access within the declaring package.
+var Atomicflow = &Analyzer{
+	Name: "atomicflow",
+	Doc:  "any variable accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicflow,
+}
+
+func runAtomicflow(p *Pass) error {
+	// Pass 1: collect every object whose address is taken as the first
+	// argument of a sync/atomic call, and every ident position that appears
+	// inside any sync/atomic call (those are the sanctioned uses).
+	atomicObjs := map[types.Object]string{} // object -> atomic func name seen
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+					return true
+				})
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if obj := identObject(p.TypesInfo, un.X); obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						atomicObjs[obj] = fn.Name()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those objects must itself be sanctioned.
+	// Declarations, composite-literal field keys, and further
+	// address-taking for atomic calls are fine; plain reads and writes are
+	// the race.
+	type finding struct {
+		id  *ast.Ident
+		obj types.Object
+	}
+	var findings []finding
+	for _, f := range p.Files {
+		if isTestFile(p, f) {
+			// Tests may read counters after goroutines join; the invariant
+			// worth enforcing is in the production code.
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := atomicObjs[obj]; !tracked {
+				return true
+			}
+			if sanctioned[id] || isCompositeKey(id, stack) {
+				return true
+			}
+			findings = append(findings, finding{id: id, obj: obj})
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].id.Pos() < findings[j].id.Pos() })
+	for _, f := range findings {
+		p.Reportf(f.id.Pos(), "%s is updated with atomic.%s elsewhere but read or written plainly here; mixing atomic and plain access is a data race — migrate to a typed atomic (atomic.Int64 etc.)",
+			f.obj.Name(), atomicObjs[f.obj])
+	}
+	return nil
+}
+
+// isCompositeKey reports whether id is the key of a composite-literal
+// key/value pair (Field: value), which names the field rather than
+// accessing the variable.
+func isCompositeKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	// The stack excludes id itself, so its parent is the last element.
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	return ok && kv.Key == id
+}

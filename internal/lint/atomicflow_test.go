@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locind/internal/lint"
+	"locind/internal/lint/linttest"
+)
+
+func TestAtomicflow(t *testing.T) {
+	linttest.Run(t, "testdata/atomicflow", lint.Atomicflow,
+		"locind/internal/atomfix", "locind/internal/atomdirty")
+}

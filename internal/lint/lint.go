@@ -18,9 +18,18 @@
 //	             io/encoding sinks (the expt.RunSensitivity regression class)
 //	ctxflow      exported gns/nomad/vantage/reliable entry points that spawn
 //	             goroutines or touch the network without a context.Context
+//	allocflow    always-allocating idioms inside //lint:zeroalloc-annotated
+//	             hot paths and everything they statically call in the module
+//	             (the Timeline.Walk / fused-scratch / Memo zero-alloc class)
+//	lockflow     mutexes copied by value, locks held across blocking
+//	             operations, and inconsistent lock acquisition order
+//	atomicflow   fields accessed through sync/atomic somewhere must be
+//	             accessed atomically everywhere
 //
 // Findings are suppressed with `//lint:allow <check> <reason>` comments; see
-// allow.go for the three scopes (line, file, package).
+// allow.go for the three scopes (line, file, package). The companion
+// //lint:zeroalloc annotation (zeroalloc.go) both arms allocflow and drives
+// cmd/allocguard's generated AllocsPerRun tests.
 package lint
 
 import (
@@ -31,11 +40,15 @@ import (
 	"sort"
 )
 
-// An Analyzer describes one named check.
+// An Analyzer describes one named check. Exactly one of Run and RunModule
+// is set: Run is invoked once per package, RunModule once per lint.Run call
+// with every loaded package in view — the shape allocflow needs, whose
+// //lint:zeroalloc closures cross package boundaries.
 type Analyzer struct {
-	Name string // short lower-case identifier, used in //lint:allow directives
-	Doc  string // one-paragraph description of the invariant
-	Run  func(*Pass) error
+	Name      string // short lower-case identifier, used in //lint:allow directives
+	Doc       string // one-paragraph description of the invariant
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // A Pass presents one package to one analyzer.
@@ -70,23 +83,72 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ModulePass presents every loaded package to a module-scope analyzer at
+// once. Diagnostics are attributed to the package they are reported
+// against, so per-package //lint:allow directives suppress them exactly as
+// they do per-package findings.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]moduleDiag
+}
+
+type moduleDiag struct {
+	pkg *Package
+	d   Diagnostic
+}
+
+// Reportf records a finding at pos inside pkg.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, moduleDiag{pkg: pkg, d: Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Check:   mp.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Seedflow, Errflow, Ctxflow}
+	return []*Analyzer{Determinism, Seedflow, Errflow, Ctxflow, Allocflow, Lockflow, Atomicflow}
+}
+
+// A Report is the outcome of one Run: the surviving diagnostics plus an
+// accounting of how many findings //lint:allow directives suppressed — CI
+// uploads the counts so suppression growth stays visible over time.
+type Report struct {
+	Diags             []Diagnostic
+	Suppressed        int
+	SuppressedByCheck map[string]int
 }
 
 // Run applies each analyzer to each package and returns the surviving
-// diagnostics (after //lint:allow suppression), sorted by position. The
-// second return value reports malformed //lint:allow directives, which are
-// themselves surfaced as findings so they cannot rot silently.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// diagnostics (after //lint:allow suppression), sorted by position, along
+// with the suppressed-findings accounting. Malformed //lint:allow
+// directives are themselves surfaced as findings so they cannot rot
+// silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allows, malformed := collectAllows(pkg)
-		for _, d := range malformed {
+	rep := &Report{SuppressedByCheck: map[string]int{}}
+	suppress := func(allows *allowIndex, raw []Diagnostic) {
+		for _, d := range raw {
+			if allows.suppressed(d) {
+				rep.Suppressed++
+				rep.SuppressedByCheck[d.Check]++
+				continue
+			}
 			diags = append(diags, d)
 		}
+	}
+	allowsFor := make(map[*Package]*allowIndex, len(pkgs))
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg)
+		allowsFor[pkg] = allows
+		diags = append(diags, malformed...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			var raw []Diagnostic
 			pass := &Pass{
 				Analyzer:  a,
@@ -99,11 +161,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
-			for _, d := range raw {
-				if !allows.suppressed(d) {
-					diags = append(diags, d)
-				}
-			}
+			suppress(allows, raw)
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		var raw []moduleDiag
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &raw}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+		for _, md := range raw {
+			suppress(allowsFor[md.pkg], []Diagnostic{md.d})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -119,5 +190,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Check < b.Check
 	})
-	return diags, nil
+	rep.Diags = diags
+	return rep, nil
 }

@@ -75,13 +75,13 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, importPaths ...string)
 		t.FailNow()
 	}
 
-	diags, err := lint.Run(roots, []*lint.Analyzer{a})
+	rep, err := lint.Run(roots, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	wants := collectWants(t, roots)
-	for _, d := range diags {
+	for _, d := range rep.Diags {
 		matched := false
 		for _, w := range wants {
 			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
@@ -226,10 +226,14 @@ func collectWants(t *testing.T, pkgs []*lint.Package) []*want {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, "// want ")
-					if !ok {
+					// The marker may trail other comment text, so a fixture
+					// can assert on a diagnostic aimed at the comment itself
+					// (e.g. a dangling //lint:zeroalloc directive).
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
 						continue
 					}
+					rest := c.Text[idx+len("// want "):]
 					pos := fset.Position(c.Pos())
 					toks := wantToken.FindAllString(rest, -1)
 					if len(toks) == 0 {

@@ -72,6 +72,10 @@ type listedPackage struct {
 // packages in dependency order. Standard-library dependencies are checked
 // with IgnoreFuncBodies for speed; their exported API is fully typed.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	// The mutex deliberately serializes whole loads, go list subprocess
+	// included: concurrent linttest callers must not interleave writes into
+	// the shared FileSet and package memo mid-load.
+	//lint:file-allow lockflow the lock exists to serialize go list invocations; holding it across cmd.Wait is the point
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.Fset == nil {

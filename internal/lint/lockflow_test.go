@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"locind/internal/lint"
+	"locind/internal/lint/linttest"
+)
+
+func TestLockflow(t *testing.T) {
+	linttest.Run(t, "testdata/lockflow", lint.Lockflow,
+		"locind/internal/lockfix", "locind/internal/lockdirty")
+}

@@ -1,0 +1,17 @@
+// Package hotcross exercises the closure walk: the annotated root is
+// clean, but it statically calls into a sibling module package whose helper
+// allocates — the finding must land in the callee, attributed to this root.
+package hotcross
+
+import "locind/internal/hotleaf"
+
+// Drive replays events through the leaf helper.
+//
+//lint:zeroalloc per event
+func Drive(events []int) int {
+	total := 0
+	for _, e := range events {
+		total += hotleaf.Scale(e)
+	}
+	return total
+}

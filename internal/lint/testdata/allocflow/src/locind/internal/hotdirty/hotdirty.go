@@ -1,0 +1,40 @@
+// Package hotdirty is the dirty arm of the allocflow fixtures: one
+// annotated function committing every per-event allocation idiom the
+// analyzer must flag.
+package hotdirty
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table pretends to be a hot path and is anything but.
+type Table struct {
+	buf []int
+}
+
+// Process replays events into the table.
+//
+//lint:zeroalloc per event
+func (t *Table) Process(events []int) string {
+	total := 0
+	for _, e := range events {
+		m := make(map[int]bool, 1) // want `make inside the per-event path of //lint:zeroalloc Table.Process`
+		m[e] = true
+		ids := []int{e}                     // want `slice literal inside the per-event path`
+		fresh := append([]int(nil), ids...) // want `append onto a fresh slice inside the per-event path`
+		total += fresh[0]
+		s := fmt.Sprintf("%d", e) // want `fmt formatting allocates and boxes`
+		s2 := s + "!"             // want `string concatenation inside the per-event path`
+		b := []byte(s2)           // want `string→\[\]byte conversion inside the per-event path`
+		total += len(b)
+		box := &Table{} // want `&composite literal inside the per-event path`
+		_ = box
+		defer func() { total++ }() // want `defer inside the per-event path` `function literal inside a loop`
+	}
+	go func() { total++ }()           // want `go statement in //lint:zeroalloc Table.Process`
+	return strings.Repeat("x", total) // want `strings.Repeat allocates its result`
+}
+
+//lint:zeroalloc dangling: attached to a var, not a function // want `annotates nothing`
+var sink int

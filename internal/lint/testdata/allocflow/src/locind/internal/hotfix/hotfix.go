@@ -1,0 +1,43 @@
+// Package hotfix is the clean arm of the allocflow fixtures: annotated hot
+// paths written in the idioms the analyzer must stay quiet about — warm-up
+// allocation outside loops, self-appends that grow a reused buffer, and a
+// deliberate once-per-call clone suppressed in place.
+package hotfix
+
+import "slices"
+
+// Table accumulates per-event state with reusable buffers.
+type Table struct {
+	buf []int
+	out map[string][]int
+}
+
+// Reset warms the table. Allocation here is setup, not steady state.
+//
+//lint:zeroalloc after warm-up
+func (t *Table) Reset(n int) {
+	if t.out == nil {
+		t.out = make(map[string][]int, n)
+	}
+	t.buf = make([]int, 0, n)
+}
+
+// Apply is the steady-state path: it only grows the reused buffer.
+//
+//lint:zeroalloc per event
+func (t *Table) Apply(events []int) int {
+	t.buf = t.buf[:0]
+	total := 0
+	for _, e := range events {
+		t.buf = append(t.buf, e)
+		total += e
+	}
+	return total
+}
+
+// Snapshot hands out one documented copy per call.
+//
+//lint:zeroalloc aside from the returned copy
+func (t *Table) Snapshot() []int {
+	return slices.Clone(t.buf) //lint:allow allocflow the returned copy is the function's contract
+}

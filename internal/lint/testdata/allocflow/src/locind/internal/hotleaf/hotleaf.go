@@ -1,0 +1,14 @@
+// Package hotleaf is the unannotated callee of hotcross: it has no
+// //lint:zeroalloc of its own, yet its fmt call is flagged because a root
+// in another package reaches it through the static call graph.
+package hotleaf
+
+import "fmt"
+
+// Scale converts one event weight.
+func Scale(e int) int {
+	if e < 0 {
+		panic(fmt.Sprintf("negative event %d", e)) // want `Sprintf in Scale \(in the //lint:zeroalloc closure of Drive\)`
+	}
+	return e * 2
+}

@@ -1,0 +1,34 @@
+// Package atomdirty is the dirty arm of the atomicflow fixtures: a field
+// and a package variable that are atomic at one site and plain at another.
+package atomdirty
+
+import "sync/atomic"
+
+// Counter mixes an atomic increment with a plain read.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return c.n // want `n is updated with atomic.AddInt64 elsewhere but read or written plainly here`
+}
+
+// Fresh builds an unshared counter; the composite-literal key names the
+// field rather than accessing it, so this is not a finding.
+func Fresh() *Counter {
+	return &Counter{n: 0}
+}
+
+var hits int64
+
+func Touch() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Reset() {
+	hits = 0 // want `hits is updated with atomic.AddInt64 elsewhere`
+}

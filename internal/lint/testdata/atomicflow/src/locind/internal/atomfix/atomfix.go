@@ -1,0 +1,20 @@
+// Package atomfix is the clean arm of the atomicflow fixtures: one counter
+// on the typed-atomic form (which makes plain access unrepresentable) and
+// one legacy counter that is atomic at every access site.
+package atomfix
+
+import "sync/atomic"
+
+// Counter is fully typed-atomic.
+type Counter struct {
+	n atomic.Int64
+}
+
+func (c *Counter) Inc() int64  { return c.n.Add(1) }
+func (c *Counter) Read() int64 { return c.n.Load() }
+
+// legacy is consistently accessed through sync/atomic.
+var legacy int64
+
+func Bump()      { atomic.AddInt64(&legacy, 1) }
+func Get() int64 { return atomic.LoadInt64(&legacy) }

@@ -1,0 +1,82 @@
+// Package lockdirty is the dirty arm of the lockflow fixtures: lock
+// copies, blocking operations under a held mutex, a self-deadlock, and an
+// AB/BA acquisition-order inversion.
+package lockdirty
+
+import (
+	"sync"
+	"time"
+)
+
+// Reg guards a map and a channel.
+type Reg struct {
+	mu    sync.Mutex
+	ready chan int
+	vals  map[string]int
+}
+
+// Snapshot copies the registry — and its mutex — by value.
+func Snapshot(r Reg) int { // want `Snapshot parameter copies sync.Mutex by value`
+	return len(r.vals)
+}
+
+// Len has a by-value receiver, forking the lock state on every call.
+func (r Reg) Len() int { // want `Reg.Len receiver copies sync.Mutex by value`
+	return len(r.vals)
+}
+
+// Wait sleeps with the lock held.
+func (r *Reg) Wait() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep called while holding r.mu`
+	r.mu.Unlock()
+}
+
+// Push sends on a channel under a deferred unlock.
+func (r *Reg) Push(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ready <- v // want `channel send while holding r.mu`
+}
+
+// Again locks a mutex it already holds.
+func (r *Reg) Again() {
+	r.mu.Lock()
+	r.mu.Lock() // want `r.mu locked again while already held`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Copy duplicates a live registry through a pointer dereference.
+func Copy(r *Reg) {
+	s := *r // want `assignment copies a value containing sync.Mutex`
+	_ = s
+}
+
+// Sum iterates a slice of registries by value.
+func Sum(regs []Reg) int {
+	n := 0
+	for _, r := range regs { // want `range copies elements containing sync.Mutex`
+		n += len(r.vals)
+	}
+	return n
+}
+
+// Pair is locked a-then-b in AB but b-then-a in BA.
+type Pair struct {
+	a, b sync.Mutex
+}
+
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want `lock order inversion: Pair.b is acquired while Pair.a is held`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package lockfix is the clean arm of the lockflow fixtures: short
+// critical sections, blocking work done after release, and a lock order
+// that is the same at every acquisition site.
+package lockfix
+
+import (
+	"sync"
+	"time"
+)
+
+// Reg guards a map with a narrowly scoped mutex.
+type Reg struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// Get holds the lock only around the map read.
+func (r *Reg) Get(k string) int {
+	r.mu.Lock()
+	v := r.vals[k]
+	r.mu.Unlock()
+	time.Sleep(time.Millisecond) // after release: not a finding
+	return v
+}
+
+// Set uses defer but performs no blocking work under the lock.
+func (r *Reg) Set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.vals == nil {
+		r.vals = make(map[string]int)
+	}
+	r.vals[k] = v
+}
+
+// Pair takes its two locks in the same order everywhere.
+type Pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *Pair) Inc() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) Dec() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n--
+	p.b.Unlock()
+	p.a.Unlock()
+}

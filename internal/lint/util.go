@@ -49,11 +49,11 @@ func funcPkgPath(fn *types.Func) string {
 	return ""
 }
 
-// inspectWithStack walks every node in f, passing the path of ancestor
-// nodes (outermost first, not including n itself).
-func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+// inspectWithStack walks every node under root, passing the path of
+// ancestor nodes (outermost first, not including n itself).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveParsers throws arbitrary comment text at the two directive
+// parsers and checks their structural invariants: no panics, positive
+// matches only on genuine prefixes, and notes round-tripping through
+// whitespace trimming.
+func FuzzDirectiveParsers(f *testing.F) {
+	f.Add("//lint:zeroalloc per event")
+	f.Add("//lint:zeroalloc")
+	f.Add("//lint:zeroallocate not this directive")
+	f.Add("//lint:allow errflow reason")
+	f.Add("//lint:file-allow all because")
+	f.Add("//lint:package-allow lockflow\ttab separated")
+	f.Add("// plain comment mentioning //lint:zeroalloc mid-text")
+	f.Add("//lint:")
+	f.Fuzz(func(t *testing.T, text string) {
+		note, ok := ParseZeroalloc(text)
+		if ok {
+			if !strings.HasPrefix(text, "//lint:zeroalloc") {
+				t.Fatalf("ParseZeroalloc accepted %q without the directive prefix", text)
+			}
+			if note != strings.TrimSpace(note) {
+				t.Fatalf("ParseZeroalloc(%q) returned untrimmed note %q", text, note)
+			}
+			// A note must round-trip: re-spelling the directive with the
+			// parsed note yields the same note.
+			if note2, ok2 := ParseZeroalloc("//lint:zeroalloc " + note); !ok2 || note2 != note {
+				t.Fatalf("note %q does not round-trip (got %q, %v)", note, note2, ok2)
+			}
+		} else if strings.HasPrefix(text, "//lint:zeroalloc ") {
+			t.Fatalf("ParseZeroalloc rejected well-formed directive %q", text)
+		}
+
+		kind, _, ok := cutDirective(text)
+		if ok {
+			switch kind {
+			case "allow", "file-allow", "package-allow":
+			default:
+				t.Fatalf("cutDirective(%q) returned unknown kind %q", text, kind)
+			}
+			if !strings.HasPrefix(text, "//lint:"+kind) {
+				t.Fatalf("cutDirective(%q) = %q without matching prefix", text, kind)
+			}
+		}
+
+		// A fuzzed comment embedded in a real file must never panic the
+		// syntax-level annotation scanner, and any annotation it finds must
+		// name the only function in the file.
+		line := strings.NewReplacer("\n", " ", "\r", " ").Replace(text)
+		src := "package p\n\n//" + line + "\nfunc F() {}\n"
+		file, err := parser.ParseFile(token.NewFileSet(), "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return // not every mangled comment yields a parseable file
+		}
+		for _, af := range ZeroallocFuncs(file) {
+			if af.Symbol != "F" {
+				t.Fatalf("annotation resolved to symbol %q, want F", af.Symbol)
+			}
+		}
+	})
+}

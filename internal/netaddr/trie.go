@@ -120,6 +120,8 @@ func (t *Trie[V]) Remove(p Prefix) bool {
 
 // Lookup performs longest-prefix matching for address a, returning the value
 // of the most specific covering prefix.
+//
+//lint:zeroalloc per probe; sits on the innermost loop of every strategy replay
 func (t *Trie[V]) Lookup(a Addr) (V, bool) {
 	var best V
 	found := false
