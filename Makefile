@@ -4,11 +4,13 @@
 GO ?= go
 
 # BENCH_SET picks which benchmarks `make bench` records. The default is the
-# sequential-vs-parallel driver pairs plus the world build: the numbers the
-# evaluation engine's speedup claims rest on. Override for a full sweep:
+# sequential-vs-parallel driver pairs plus the world build — the numbers the
+# evaluation engine's speedup claims rest on — and the nomad event engine,
+# whose events/op throughput the million-device soak claims rest on.
+# Override for a full sweep:
 #
 #   make bench BENCH_SET='.'
-BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)
+BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)|NomadEngine
 
 .PHONY: all build test race lint allocguard bench clean
 

@@ -9,12 +9,15 @@
 package locind_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"locind/internal/cdn"
 	"locind/internal/expt"
+	"locind/internal/mobility"
+	"locind/internal/nomad/engine"
 )
 
 var (
@@ -291,4 +294,37 @@ func BenchmarkTimelinesParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w.Deployment.TimelinesParallel(24*7, rand.New(rand.NewSource(int64(i))), 0)
 	}
+}
+
+// BenchmarkNomadEngine measures the event-heap agent engine's raw
+// simulation throughput: 2000 streamed devices over 2 days with a nil
+// uploader, so the number is pure event-step cost (heap churn, day
+// refills, sealing and backpressure eviction) with no network in the
+// loop. Reset replays the same fleet in place, so iterations after the
+// first run the zero-alloc steady-state path the allocguard tests pin.
+func BenchmarkNomadEngine(b *testing.B) {
+	w := world(b)
+	fleet, err := mobility.NewFleetGen(w.Graph, w.Prefixes, w.Cfg.Device, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(engine.Config{
+		Fleet:            fleet,
+		Devices:          2000,
+		Days:             2,
+		MaxPending:       64,
+		MaxQueuedBatches: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		if err := eng.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.Steps()), "events/op")
 }

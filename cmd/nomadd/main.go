@@ -1,48 +1,145 @@
-// Command nomadd demonstrates the NomadLog measurement pipeline end to end:
-// it starts the IP-echo/upload backend on a real TCP port, synthesizes a
-// device fleet, replays every device's mobility trace through the pipeline
-// (one tiny /ip request per connectivity event, batched /upload flushes
-// whenever the device sits on WiFi long enough to be "plugged in"), and
-// reports what landed in the log store.
+// Command nomadd demonstrates the NomadLog measurement pipeline end to end.
+//
+// In its default mode it starts the IP-echo/upload backend on a real TCP
+// port, synthesizes a device fleet, replays every device's mobility trace
+// through goroutine-per-device agents (one tiny /ip request per
+// connectivity event, batched /upload flushes whenever the device sits on
+// WiFi long enough to be "plugged in"), and reports what landed in the log
+// store.
+//
+// With -soak it instead drives the million-device event-heap engine
+// (internal/nomad/engine): sharded engines stream the fleet day by day,
+// upload through a faultnet chaos listener into the constant-memory
+// streaming server, and the run reports flat-memory/flat-queue evidence
+// plus a digest line that is byte-identical across same-seed soaks.
 //
 // Usage:
 //
 //	nomadd [-addr host:port] [-users N] [-days N] [-seed N]
+//	nomadd -soak [-soak.devices N] [-soak.days N] [-soak.shards N]
+//	nomadd -soak -soak.quick        # CI-sized smoke soak
+//
+// SIGINT/SIGTERM stop either mode gracefully: in-flight uploads drain and
+// a final metrics snapshot is written before exit.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"locind/internal/asgraph"
 	"locind/internal/bgp"
 	"locind/internal/mobility"
 	"locind/internal/nomad"
+	"locind/internal/nomad/engine"
 	"locind/internal/obs"
 	"locind/internal/reliable"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address for the backend")
-	users := flag.Int("users", 40, "devices in the fleet")
-	days := flag.Int("days", 5, "days of mobility to replay")
+	users := flag.Int("users", 40, "devices in the fleet (agent mode)")
+	days := flag.Int("days", 5, "days of mobility to replay (agent mode)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	obsAddr := flag.String("obs.addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	soak := flag.Bool("soak", false, "run the event-engine chaos soak instead of the agent fleet")
+	soakQuick := flag.Bool("soak.quick", false, "CI preset: a small, fast soak (implies -soak)")
+	soakDevices := flag.Int("soak.devices", 1000000, "devices in the soak fleet")
+	soakDays := flag.Int("soak.days", 2, "days of mobility in the soak")
+	soakShards := flag.Int("soak.shards", 0, "engine shards (0 = one per core)")
 	flag.Parse()
 
-	if err := run(*addr, *users, *days, *seed, *obsAddr); err != nil {
+	// Graceful shutdown: first SIGINT/SIGTERM cancels the run context —
+	// engines stop at the next event boundary, in-flight uploads drain —
+	// and the final metrics snapshot still prints. A second signal kills
+	// the process the hard way (signal.NotifyContext restores defaults).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	// Both modes share the registry so the final snapshot and the
+	// optional -obs.addr endpoint see the same families.
+	reg := obs.NewRegistry()
+	var err error
+	if *soak || *soakQuick {
+		cfg := engine.SoakConfig{
+			Devices:  *soakDevices,
+			Days:     *soakDays,
+			Seed:     *seed,
+			Shards:   *soakShards,
+			Registry: reg,
+			Out:      os.Stdout,
+		}
+		if *soakQuick {
+			cfg.Devices = 2000
+			cfg.Days = 2
+		}
+		err = runSoak(ctx, cfg, reg, *obsAddr)
+	} else {
+		err = runAgents(ctx, *addr, *users, *days, *seed, *obsAddr, reg)
+	}
+	writeFinalMetrics(reg)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		fmt.Println("nomadd: interrupted; drained and shut down")
+	default:
 		fmt.Fprintln(os.Stderr, "nomadd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, users, days int, seed int64, obsAddr string) error {
+// serveObs exposes /metrics and /debug/pprof when requested.
+func serveObs(ctx context.Context, obsAddr string, reg *obs.Registry, tracer *obs.Tracer) (func(), error) {
+	if obsAddr == "" {
+		return func() {}, nil
+	}
+	ring := obs.NewRing(0)
+	osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, tracer, ring))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("nomadd: introspection on http://%s/metrics\n", osrv.Addr())
+	return func() { osrv.Close() }, nil //lint:allow errflow the process is exiting
+}
+
+// writeFinalMetrics flushes the closing metrics snapshot to stdout — the
+// last thing either mode does, on clean exits and interrupts alike.
+func writeFinalMetrics(reg *obs.Registry) {
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	fmt.Println("nomadd: final metrics snapshot:")
+	for _, ln := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		fmt.Println("  " + ln)
+	}
+}
+
+// runSoak drives the event-engine chaos soak.
+func runSoak(ctx context.Context, cfg engine.SoakConfig, reg *obs.Registry, obsAddr string) error {
+	closeObs, err := serveObs(ctx, obsAddr, reg, nil)
+	if err != nil {
+		return err
+	}
+	defer closeObs()
+	fmt.Printf("nomadd: soaking %d devices x %d days (seed %d)\n", cfg.Devices, cfg.Days, cfg.Seed)
+	_, err = engine.RunSoak(ctx, cfg)
+	return err
+}
+
+// runAgents is the original agent-fleet demonstration.
+func runAgents(ctx context.Context, addr string, users, days int, seed int64, obsAddr string, reg *obs.Registry) error {
 	// Substrate: a small internetwork and address plan for the fleet.
 	acfg := asgraph.DefaultSynthConfig()
 	acfg.Tier2 = 80
@@ -63,24 +160,18 @@ func run(addr string, users, days int, seed int64, obsAddr string) error {
 		return err
 	}
 
-	// Observability: fleet-wide retry counters, upload traces, and the
-	// flight-recorder log on an introspection port.
-	var fleetMetrics *reliable.Metrics
-	var tracer *obs.Tracer
-	if obsAddr != "" {
-		reg := obs.NewRegistry()
-		fleetMetrics = reliable.NewMetrics(reg, "nomad")
-		tracer = obs.NewTracer(seed, 0)
-		begin := time.Now()
-		tracer.SetNow(func() time.Duration { return time.Since(begin) })
-		ring := obs.NewRing(0)
-		osrv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
-		if err != nil {
-			return err
-		}
-		defer osrv.Close() //nolint:errcheck // the process is exiting
-		fmt.Printf("nomadd: introspection on http://%s/metrics\n", osrv.Addr())
+	// Observability: fleet-wide retry counters, upload-outcome counters,
+	// upload traces, and the flight-recorder log on an introspection port.
+	fleetMetrics := reliable.NewMetrics(reg, "nomad")
+	agentMetrics := nomad.NewAgentMetrics(reg)
+	tracer := obs.NewTracer(seed, 0)
+	begin := time.Now()
+	tracer.SetNow(func() time.Duration { return time.Since(begin) })
+	closeObs, err := serveObs(ctx, obsAddr, reg, tracer)
+	if err != nil {
+		return err
 	}
+	defer closeObs()
 
 	// The backend on a real socket. Sharing the tracer between client and
 	// server sides merges their spans into one export, so /debug/traces
@@ -96,7 +187,7 @@ func run(addr string, users, days int, seed int64, obsAddr string) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("nomadd: backend listening on %s\n", base)
 
-	uploaded, err := nomad.RunFleetObserved(context.Background(), base, trace, 8, fleetMetrics, tracer)
+	uploaded, err := nomad.RunFleetObserved(ctx, base, trace, 8, fleetMetrics, agentMetrics, tracer)
 	if err != nil {
 		return err
 	}

@@ -218,6 +218,7 @@ func GenerateDeviceTrace(g *asgraph.Graph, pt *bgp.PrefixTable, cfg DeviceConfig
 		return nil, err
 	}
 	dt := &DeviceTrace{Days: cfg.Days, Users: make([]UserTrace, 0, cfg.Users)}
+	var segScratch []daySeg
 	for id := 0; id < cfg.Users; id++ {
 		prof := newProfile(pools, pt, cfg, rng)
 		ut := UserTrace{ID: id, Region: prof.region, HomeAS: prof.home.AS}
@@ -227,8 +228,7 @@ func GenerateDeviceTrace(g *asgraph.Graph, pt *bgp.PrefixTable, cfg DeviceConfig
 			if day > 0 && rng.Float64() < cfg.HomeDHCPDaily {
 				prof.home = locIn(pt, prof.home.AS, randomHostIn(pt, prof.home.AS, rng), WiFi)
 			}
-			dayVisits := simulateDay(prof, pt, cfg, day, &cell, rng)
-			ut.Visits = append(ut.Visits, dayVisits...)
+			ut.Visits = simulateDayInto(ut.Visits, prof, pt, cfg, day, &cell, rng, &segScratch)
 		}
 		ut.Visits = mergeAdjacent(ut.Visits)
 		dt.Users = append(dt.Users, ut)
@@ -301,17 +301,26 @@ func pickRegion(cfg DeviceConfig, rng *rand.Rand) asgraph.Region {
 }
 
 func newProfile(pools *accessPools, pt *bgp.PrefixTable, cfg DeviceConfig, rng *rand.Rand) *userProfile {
+	prof := new(userProfile)
+	fillProfile(prof, pools, pt, cfg, rng)
+	return prof
+}
+
+// fillProfile regenerates a profile in place, reusing prof's otherWiFis
+// backing so a scratch profile can be refilled per user without allocating.
+// The rng draw order is pinned: for a freshly seeded rng it reproduces
+// exactly the profile newProfile has always built.
+func fillProfile(prof *userProfile, pools *accessPools, pt *bgp.PrefixTable, cfg DeviceConfig, rng *rand.Rand) {
 	region := pickRegion(cfg, rng)
 	eyeballs := pools.eyeballs[region]
 	homeAS := eyeballs[rng.Intn(len(eyeballs))]
-	prof := &userProfile{
-		region:     region,
-		home:       locIn(pt, homeAS, randomHostIn(pt, homeAS, rng), WiFi),
-		cellAS:     pools.cellular[region][rng.Intn(len(pools.cellular[region]))],
-		cellBase:   uint64(rng.Intn(256)) << 8, // one /24 inside the carrier block
-		bounceRate: math.Exp(cfg.BounceMu + cfg.BounceSigma*rng.NormFloat64()),
-		wakeJitter: rng.Float64(),
-	}
+	prof.region = region
+	prof.home = locIn(pt, homeAS, randomHostIn(pt, homeAS, rng), WiFi)
+	prof.work = Location{}
+	prof.cellAS = pools.cellular[region][rng.Intn(len(pools.cellular[region]))]
+	prof.cellBase = uint64(rng.Intn(256)) << 8 // one /24 inside the carrier block
+	prof.bounceRate = math.Exp(cfg.BounceMu + cfg.BounceSigma*rng.NormFloat64())
+	prof.wakeJitter = rng.Float64()
 	switch x := rng.Float64(); {
 	case x < cfg.HomebodyFrac:
 		prof.class = classHomebody
@@ -325,12 +334,12 @@ func newProfile(pools *accessPools, pt *bgp.PrefixTable, cfg DeviceConfig, rng *
 	default:
 		prof.class = classCasual
 	}
+	prof.otherWiFis = prof.otherWiFis[:0]
 	nOther := 1 + rng.Intn(3)
 	for i := 0; i < nOther; i++ {
 		wifiAS := pools.wifi[region][rng.Intn(len(pools.wifi[region]))]
 		prof.otherWiFis = append(prof.otherWiFis, locIn(pt, wifiAS, randomHostIn(pt, wifiAS, rng), WiFi))
 	}
-	return prof
 }
 
 // cellAddr mints an address in the user's stable CGNAT /24 pool, which keeps
@@ -358,9 +367,14 @@ func (cs *cellState) attach(prof *userProfile, pt *bgp.PrefixTable, day int, reu
 	return cs.addr
 }
 
-// simulateDay lays out one day of visits for a user. All times are hours
-// within [day*24, day*24+24).
-func simulateDay(prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day int, cell *cellState, rng *rand.Rand) []Visit {
+// simulateDayInto lays out one day of visits for a user, appending them to
+// buf (which it returns, grown). All times are hours within
+// [day*24, day*24+24). segScratch is the reusable segment buffer the day
+// schedule is laid out in; a nil *segScratch slice works and simply grows to
+// the day's high-water mark. The rng draw order is identical to the original
+// allocate-per-day formulation, so generated traces are byte-for-byte
+// unchanged.
+func simulateDayInto(buf []Visit, prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day int, cell *cellState, rng *rand.Rand, segScratch *[]daySeg) []Visit {
 	base := float64(day) * 24
 	weekend := day%7 >= 5
 	cellLoc := func() Location {
@@ -368,7 +382,7 @@ func simulateDay(prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day i
 		return locIn(pt, prof.cellAS, addr, Cellular)
 	}
 
-	var segs []daySeg
+	segs := (*segScratch)[:0]
 	switch {
 	case prof.class == classCommuter && !weekend:
 		leave := 7.8 + prof.wakeJitter + 0.5*rng.NormFloat64()
@@ -389,14 +403,14 @@ func simulateDay(prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day i
 		segs = append(segs, daySeg{prof.home, 24})
 
 	case prof.class == classHomebody:
-		segs = []daySeg{{prof.home, 24}}
+		segs = append(segs, daySeg{prof.home, 24})
 		if rng.Float64() < 0.25 { // the occasional errand
 			out := 10 + 6*rng.Float64()
-			segs = []daySeg{
-				{prof.home, clampHour(out)},
-				{cellLoc(), clampHour(out + 0.5 + rng.Float64())},
-				{prof.home, 24},
-			}
+			segs = append(segs[:0],
+				daySeg{prof.home, clampHour(out)},
+				daySeg{cellLoc(), clampHour(out + 0.5 + rng.Float64())},
+				daySeg{prof.home, 24},
+			)
 		}
 
 	case prof.class == classCellPrimary:
@@ -420,25 +434,25 @@ func simulateDay(prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day i
 
 	default:
 		// Casual user or commuter weekend: home with outings.
-		segs = []daySeg{{prof.home, 24}}
+		segs = append(segs, daySeg{prof.home, 24})
 		if rng.Float64() < 0.55 {
 			out := 9 + 8*rng.Float64()
 			venue := prof.otherWiFis[rng.Intn(len(prof.otherWiFis))]
 			back := out + 1 + 2.5*rng.Float64()
 			if rng.Float64() < 0.5 {
-				segs = []daySeg{
-					{prof.home, clampHour(out)},
-					{cellLoc(), clampHour(out + 0.3)},
-					{venue, clampHour(back)},
-					{cellLoc(), clampHour(back + 0.3)},
-					{prof.home, 24},
-				}
+				segs = append(segs[:0],
+					daySeg{prof.home, clampHour(out)},
+					daySeg{cellLoc(), clampHour(out + 0.3)},
+					daySeg{venue, clampHour(back)},
+					daySeg{cellLoc(), clampHour(back + 0.3)},
+					daySeg{prof.home, 24},
+				)
 			} else {
-				segs = []daySeg{
-					{prof.home, clampHour(out)},
-					{venue, clampHour(back)},
-					{prof.home, 24},
-				}
+				segs = append(segs[:0],
+					daySeg{prof.home, clampHour(out)},
+					daySeg{venue, clampHour(back)},
+					daySeg{prof.home, 24},
+				)
 			}
 		}
 	}
@@ -455,18 +469,18 @@ func simulateDay(prof *userProfile, pt *bgp.PrefixTable, cfg DeviceConfig, day i
 		dur := 0.05 + 0.3*rng.Float64()
 		segs = insertBounce(segs, at, dur, cellLoc())
 	}
+	*segScratch = segs[:0]
 
 	// Materialize visits.
-	visits := make([]Visit, 0, len(segs))
 	prev := 0.0
 	for _, s := range segs {
 		if s.end <= prev {
 			continue
 		}
-		visits = append(visits, Visit{Start: base + prev, Dur: s.end - prev, Loc: s.loc})
+		buf = append(buf, Visit{Start: base + prev, Dur: s.end - prev, Loc: s.loc})
 		prev = s.end
 	}
-	return visits
+	return buf
 }
 
 func clampHour(h float64) float64 {
@@ -488,15 +502,18 @@ type daySeg struct {
 
 // insertBounce splits the segment covering hour `at` with a cellular
 // interlude of the given duration, if the segment is WiFi and long enough.
+// The split happens in place (segments after the split point shift right by
+// two), so repeated bounces reuse the same backing array.
 func insertBounce(segs []daySeg, at, dur float64, cell Location) []daySeg {
 	start := 0.0
 	for i, s := range segs {
 		if at >= start && at+dur < s.end && s.loc.Net == WiFi {
-			out := make([]daySeg, 0, len(segs)+2)
-			out = append(out, segs[:i]...)
-			out = append(out, daySeg{s.loc, at}, daySeg{cell, at + dur}, daySeg{s.loc, s.end})
-			out = append(out, segs[i+1:]...)
-			return out
+			segs = append(segs, daySeg{}, daySeg{})
+			copy(segs[i+3:], segs[i+1:])
+			segs[i] = daySeg{s.loc, at}
+			segs[i+1] = daySeg{cell, at + dur}
+			segs[i+2] = daySeg{s.loc, s.end}
+			return segs
 		}
 		start = s.end
 	}
@@ -506,11 +523,19 @@ func insertBounce(segs []daySeg, at, dur float64, cell Location) []daySeg {
 // mergeAdjacent coalesces consecutive visits at the same address with no
 // gap, which arise when a bounce lands at a segment boundary.
 func mergeAdjacent(vs []Visit) []Visit {
-	if len(vs) == 0 {
+	return mergeAdjacentFrom(vs, 0)
+}
+
+// mergeAdjacentFrom is mergeAdjacent restricted to vs[lo:], compacting in
+// place. The streaming generator appends one user-day at a time onto a
+// shared arena, so merging must never reach across the region boundary into
+// another user's visits.
+func mergeAdjacentFrom(vs []Visit, lo int) []Visit {
+	if len(vs)-lo < 1 {
 		return vs
 	}
-	out := vs[:1]
-	for _, v := range vs[1:] {
+	out := vs[:lo+1]
+	for _, v := range vs[lo+1:] {
 		last := &out[len(out)-1]
 		if v.Loc.Addr == last.Loc.Addr && v.Day() == last.Day() &&
 			math.Abs(last.Start+last.Dur-v.Start) < 1e-9 {

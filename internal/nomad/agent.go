@@ -47,6 +47,9 @@ type Agent struct {
 	// Metrics, when non-nil, counts the retry loop's activity into obs
 	// handles shared across the fleet.
 	Metrics *reliable.Metrics
+	// Obs, when non-nil, counts upload outcomes (batches/entries stored,
+	// opportunities given up) into fleet-shared obs handles.
+	Obs *AgentMetrics
 	// Tracer, when non-nil, records one span per batch-upload opportunity
 	// (with per-attempt children) and propagates its TraceContext in the
 	// upload headers so the server's store span parents onto it.
@@ -132,9 +135,12 @@ func (a *Agent) drainQueue(ctx context.Context) (int, error) {
 				return uploaded, ctxErr
 			}
 			a.UploadFailures++
+			a.m().UploadFailures.Inc()
 			return uploaded, nil // keep the batch queued; not fatal
 		}
 		uploaded += len(b.entries)
+		a.m().BatchesUploaded.Inc()
+		a.m().EntriesUploaded.Add(int64(len(b.entries)))
 		a.queue = a.queue[1:]
 	}
 	return uploaded, nil
@@ -197,13 +203,13 @@ func (a *Agent) Flush(ctx context.Context) (int, error) {
 // at baseURL, with at most parallel agents in flight. It returns the total
 // number of uploaded records. ctx cancels the whole fleet.
 func RunFleet(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int) (int, error) {
-	return RunFleetObserved(ctx, baseURL, dt, parallel, nil, nil)
+	return RunFleetObserved(ctx, baseURL, dt, parallel, nil, nil, nil)
 }
 
-// RunFleetObserved is RunFleet with shared retry-loop metrics and an upload
-// tracer attached to every agent; m and tr may be nil for an unobserved
-// fleet.
-func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int, m *reliable.Metrics, tr *obs.Tracer) (int, error) {
+// RunFleetObserved is RunFleet with shared retry-loop metrics, upload
+// outcome counters, and an upload tracer attached to every agent; m, am,
+// and tr may be nil for an unobserved fleet.
+func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTrace, parallel int, m *reliable.Metrics, am *AgentMetrics, tr *obs.Tracer) (int, error) {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -223,6 +229,7 @@ func RunFleetObserved(ctx context.Context, baseURL string, dt *mobility.DeviceTr
 			defer func() { <-sem }()
 			agent := NewAgent(NewClient(baseURL), fmt.Sprintf("device-%d", u.ID))
 			agent.Metrics = m
+			agent.Obs = am
 			agent.Tracer = tr
 			n, err := agent.Replay(ctx, u)
 			mu.Lock()

@@ -1,0 +1,551 @@
+// Package engine is the million-device replacement for nomad's
+// goroutine-per-device agents: a single-threaded event-heap scheduler that
+// walks every device's mobility trace in one virtual-time order. Each
+// device is a ~100-byte slab entry plus its pending-record buffer; the only
+// goroutine is the caller's, so a shard costs no stacks, no channels, and —
+// once its buffers have grown to steady-state capacity — zero allocations
+// per scheduled event (pinned by the generated allocguard test).
+//
+// Scale-out is sharding, not concurrency within a shard: devices partition
+// into contiguous index ranges, one Engine per range, driven in parallel
+// via internal/par. Per-(user, day) derived seeds (mobility.FleetGen) make
+// every device's trace independent of shard count, so the records a device
+// uploads are identical at any parallelism degree.
+//
+// The upload path preserves the Agent contract exactly: records buffer
+// per device, a long-enough WiFi dwell seals them into a batch with the
+// next "<hashedID>-b%06d" identity, and sealed batches drain oldest-first,
+// stopping at the first batch that exhausts its retries. Backpressure is
+// explicit where the Agent's was absent: MaxPending bounds loose records
+// per device (overflow forces an early seal), MaxQueuedBatches bounds
+// sealed batches per device (overflow evicts the oldest batch, counted as
+// DroppedBatches — the engine's only source of data loss).
+//
+// One deliberate divergence: the Agent asks the server to echo its address
+// before logging each record (/ip). In simulation the server echoes the
+// simulated-address header verbatim, so the reply equals the visit's own
+// address by construction; the engine logs that address directly and skips
+// the round trip. Stored records are byte-identical (the equivalence test
+// pins this); only the /ip request count differs.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"locind/internal/mobility"
+	"locind/internal/netaddr"
+	"locind/internal/nomad"
+	"locind/internal/reliable"
+)
+
+// Uploader stores one sealed batch; *nomad.Client implements it. The batch
+// slice is reused across calls — implementations must not retain it after
+// returning.
+type Uploader interface {
+	Upload(ctx context.Context, batchID string, batch []nomad.Entry) error
+}
+
+// visit is the arena form of a mobility.Visit: just what the event loop
+// needs, 24 bytes instead of 48.
+type visit struct {
+	start float64
+	dur   float64 // hours; float64 so dwell comparisons match the Agent bit-for-bit
+	addr  netaddr.Addr
+	net   uint8 // mobility.NetType
+}
+
+// rec is one buffered log record. The address stays numeric until drain
+// time — strings exist only on the (allocating, off-hot-path) upload path.
+type rec struct {
+	t    float64
+	addr netaddr.Addr
+	net  uint8
+}
+
+// batchDesc describes one sealed batch: its sequence number and how many
+// records it covers. The records themselves sit in the device's FIFO
+// buffer — sealing moves a boundary, it copies nothing.
+type batchDesc struct {
+	seq uint32
+	n   uint32
+}
+
+// deviceState is one device's slab entry.
+type deviceState struct {
+	// recs[head:] are live records, oldest first: the first batchedN are
+	// covered by sealed batches (in batches order), the rest are loose.
+	recs     []rec
+	batches  []batchDesc
+	head     int32
+	batchedN int32
+	seq      uint32 // last sealed sequence number
+
+	// Window into the visit arena: the device's current day (fleet mode)
+	// or whole trace (trace mode).
+	winDay uint32 // arena parity selector
+	winOff uint32
+	winLen uint32
+	next   uint32 // next window index to process
+	day    int32  // next day to generate (fleet mode)
+
+	ustate mobility.UserState
+}
+
+// Config configures an Engine. Exactly one of Fleet and Trace must be set:
+// Fleet streams each device day by day at bounded memory (the soak mode),
+// Trace replays pre-generated visits (the equivalence-test mode).
+type Config struct {
+	// Fleet generates device days on demand; UserBase+i is device i's
+	// user index, so shards cover disjoint contiguous user ranges.
+	Fleet    *mobility.FleetGen
+	UserBase int
+	Devices  int
+
+	// Trace supplies pre-generated visits; Devices and UserBase are
+	// ignored and device i is Trace.Users[i] (raw ID "device-<ID>").
+	Trace *mobility.DeviceTrace
+
+	// Days is the trace length; 0 takes Fleet.Days() / Trace.Days.
+	Days int
+
+	// MinUploadDwell is the minimum WiFi dwell (hours) treated as an
+	// upload opportunity; 0 takes the Agent default (2.0).
+	MinUploadDwell float64
+
+	// MaxPending bounds loose records per device: reaching it forces a
+	// seal even without an upload opportunity. 0 = unbounded (the Agent's
+	// behaviour, and the setting that keeps batch identities
+	// legacy-identical).
+	MaxPending int
+	// MaxQueuedBatches bounds sealed batches per device: sealing past it
+	// evicts the oldest batch (counted, never silent). 0 = unbounded.
+	MaxQueuedBatches int
+
+	// Uploader receives sealed batches; nil discards nothing and uploads
+	// nothing (batches queue up to MaxQueuedBatches) — the benchmark and
+	// allocguard mode.
+	Uploader Uploader
+	// UploadRetries, Backoff, Rand, Sleep, and RetryMetrics parameterize
+	// the per-batch retry loop exactly as on the Agent. UploadRetries 0
+	// takes the Agent default (2); set it negative for a single attempt.
+	UploadRetries int
+	Backoff       reliable.Backoff
+	Rand          *rand.Rand
+	Sleep         func(ctx context.Context, d time.Duration) error
+	RetryMetrics  *reliable.Metrics
+
+	// FlushAtEnd schedules a final seal-and-drain per device at trace end
+	// (the Agent's explicit Flush).
+	FlushAtEnd bool
+
+	// GracefulUploads decouples in-flight uploads from cancellation: each
+	// upload attempt runs on a context that survives ctx being cancelled
+	// (bounded by the Uploader's own timeouts), and cancellation takes
+	// effect at the next batch or event boundary instead of chopping a
+	// request mid-flight. This is what lets nomadd drain on SIGTERM.
+	GracefulUploads bool
+
+	// Metrics, when non-nil, receives engine counters and gauges; shards
+	// may share one.
+	Metrics *Metrics
+}
+
+// Engine walks one shard of the fleet. Not safe for concurrent use — run
+// one Engine per goroutine and shard the fleet across them.
+type Engine struct {
+	cfg     Config
+	met     *Metrics
+	up      Uploader
+	devs    []deviceState
+	ids     []string // hashed device IDs, fixed at construction
+	heap    evHeap
+	endTime float64
+
+	// Visit arenas, double-buffered by day parity (fleet mode): by the
+	// time any device claims day d — while processing its last day-(d-1)
+	// visit, at virtual time ≥ 24(d-1) — every day-(d-2) visit (all of
+	// which start strictly before 24(d-1)) has already been processed, so
+	// arena[d&1] is dead and safe to reset. Trace mode packs everything
+	// into arena[0] once.
+	arena    [2][]visit
+	arenaDay [2]int32
+	scratch  *mobility.DayScratch
+
+	visitBuf []mobility.Visit
+	entryBuf []nomad.Entry
+
+	steps    int64
+	attempts int64
+}
+
+// Action flags returned by stepVisit so the allocating follow-ups (day
+// generation, batch upload) stay out of the zero-alloc event step.
+const (
+	actDrain uint8 = 1 << iota
+	actRefill
+)
+
+// New validates cfg and builds the engine with every device scheduled at
+// its first visit.
+func New(cfg Config) (*Engine, error) {
+	if (cfg.Fleet == nil) == (cfg.Trace == nil) {
+		return nil, fmt.Errorf("engine: exactly one of Fleet and Trace must be set")
+	}
+	n := cfg.Devices
+	if cfg.Trace != nil {
+		n = len(cfg.Trace.Users)
+		if cfg.Days == 0 {
+			cfg.Days = cfg.Trace.Days
+		}
+	} else if cfg.Days == 0 {
+		cfg.Days = cfg.Fleet.Days()
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: need at least one device, have %d", n)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("engine: need positive days, have %d", cfg.Days)
+	}
+	if cfg.Fleet != nil && cfg.Days > cfg.Fleet.Days() {
+		return nil, fmt.Errorf("engine: %d days exceeds the fleet's %d", cfg.Days, cfg.Fleet.Days())
+	}
+	if cfg.MinUploadDwell == 0 {
+		cfg.MinUploadDwell = 2.0
+	}
+	switch {
+	case cfg.UploadRetries == 0:
+		cfg.UploadRetries = 2
+	case cfg.UploadRetries < 0:
+		cfg.UploadRetries = 0
+	}
+	if cfg.Backoff == (reliable.Backoff{}) {
+		cfg.Backoff = reliable.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	}
+	e := &Engine{
+		cfg:     cfg,
+		met:     cfg.Metrics,
+		up:      cfg.Uploader,
+		devs:    make([]deviceState, n),
+		ids:     make([]string, n),
+		endTime: float64(cfg.Days) * 24,
+	}
+	if e.met == nil {
+		e.met = noMetrics
+	}
+	for i := range e.ids {
+		user := cfg.UserBase + i
+		if cfg.Trace != nil {
+			user = cfg.Trace.Users[i].ID
+		}
+		e.ids[i] = nomad.HashDeviceID(fmt.Sprintf("device-%d", user))
+	}
+	if cfg.Fleet != nil {
+		e.scratch = mobility.NewDayScratch()
+	}
+	e.start()
+	return e, nil
+}
+
+// Devices returns the shard's device count.
+func (e *Engine) Devices() int { return len(e.devs) }
+
+// DeviceID returns the hashed identifier of engine-local device i.
+func (e *Engine) DeviceID(i int) string { return e.ids[i] }
+
+// Steps returns how many events the engine has processed.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// UploadAttempts returns how many Uploader calls were made (retries
+// included).
+func (e *Engine) UploadAttempts() int64 { return e.attempts }
+
+// start schedules every device's first event, from a zeroed device slab.
+func (e *Engine) start() {
+	e.arenaDay = [2]int32{-1, -1}
+	if e.cfg.Trace != nil {
+		a := e.arena[0][:0]
+		for i := range e.cfg.Trace.Users {
+			u := &e.cfg.Trace.Users[i]
+			d := &e.devs[i]
+			d.winOff = uint32(len(a))
+			d.winLen = uint32(len(u.Visits))
+			for _, v := range u.Visits {
+				a = append(a, visit{start: v.Start, dur: v.Dur, addr: v.Loc.Addr, net: uint8(v.Loc.Net)})
+			}
+			if d.winLen > 0 {
+				e.heap.push(event{at: a[d.winOff].start, dev: int32(i), kind: evVisit})
+				e.met.HeapEvents.Add(1)
+			}
+		}
+		e.arena[0] = a
+		e.arenaDay[0] = 0
+		return
+	}
+	for i := range e.devs {
+		e.refill(int32(i))
+	}
+}
+
+// Reset rewinds the engine to its initial schedule, retaining every
+// buffer's capacity — a warm Reset+Run replays the identical workload with
+// zero steady-state allocations, which is both the replay API and what the
+// allocguard harness measures.
+func (e *Engine) Reset() {
+	e.met.HeapEvents.Add(-int64(e.heap.len()))
+	e.heap.ev = e.heap.ev[:0]
+	e.arena[0] = e.arena[0][:0]
+	e.arena[1] = e.arena[1][:0]
+	for i := range e.devs {
+		d := &e.devs[i]
+		e.met.QueueEntries.Add(-int64(len(d.recs) - int(d.head)))
+		e.met.QueueBatches.Add(-int64(len(d.batches)))
+		*d = deviceState{recs: d.recs[:0], batches: d.batches[:0]}
+	}
+	e.steps, e.attempts = 0, 0
+	e.start()
+}
+
+// window returns the device's current visit window.
+func (e *Engine) window(d *deviceState) []visit {
+	return e.arena[d.winDay&1][d.winOff : d.winOff+d.winLen]
+}
+
+// loose returns the device's records not yet covered by a sealed batch.
+func (e *Engine) loose(d *deviceState) int {
+	return len(d.recs) - int(d.head) - int(d.batchedN)
+}
+
+// QueuedBatches returns the shard's sealed batches still awaiting upload.
+func (e *Engine) QueuedBatches() int {
+	n := 0
+	for i := range e.devs {
+		n += len(e.devs[i].batches)
+	}
+	return n
+}
+
+// Run processes the schedule to completion or ctx cancellation. Uploads
+// happen inline (the engine is single-threaded); a batch that exhausts its
+// retries stays queued for the device's next opportunity, exactly like the
+// Agent.
+func (e *Engine) Run(ctx context.Context) error {
+	for e.heap.len() > 0 {
+		e.steps++
+		if e.steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ev := e.heap.pop()
+		e.met.HeapEvents.Add(-1)
+		if ev.kind == evFlush {
+			e.seal(&e.devs[ev.dev])
+			if err := e.drain(ctx, ev.dev); err != nil {
+				return err
+			}
+			continue
+		}
+		act := e.stepVisit(ev.dev)
+		if act&actRefill != 0 {
+			e.refill(ev.dev)
+		}
+		if act&actDrain != 0 {
+			if err := e.drain(ctx, ev.dev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stepVisit processes one visit event: buffer the record, seal on an
+// upload opportunity (or on MaxPending overflow), and schedule the
+// device's next event. Allocating follow-ups are returned as action flags,
+// not performed — this function and its callees are the per-event hot path
+// for a million devices.
+//
+//lint:zeroalloc per event once device buffers reach steady-state capacity
+func (e *Engine) stepVisit(dev int32) uint8 {
+	d := &e.devs[dev]
+	w := e.window(d)
+	v := &w[d.next]
+
+	// FIFO compaction: when the buffer is full but has a consumed prefix,
+	// slide the live records down instead of growing.
+	if len(d.recs) == cap(d.recs) && d.head > 0 {
+		n := copy(d.recs, d.recs[d.head:])
+		d.recs = d.recs[:n]
+		d.head = 0
+	}
+	d.recs = append(d.recs, rec{t: v.start, addr: v.addr, net: v.net})
+	e.met.Events.Inc()
+	e.met.QueueEntries.Add(1)
+
+	var act uint8
+	if v.net == uint8(mobility.WiFi) && v.dur >= e.cfg.MinUploadDwell {
+		// Upload opportunity: seal the loose records and drain the whole
+		// queue (older failed batches included), like the Agent.
+		e.seal(d)
+		if len(d.batches) > 0 {
+			act |= actDrain
+		}
+	} else if e.cfg.MaxPending > 0 && e.loose(d) >= e.cfg.MaxPending {
+		e.seal(d)
+	}
+
+	d.next++
+	switch {
+	case d.next < d.winLen:
+		e.heap.push(event{at: w[d.next].start, dev: dev, kind: evVisit})
+		e.met.HeapEvents.Add(1)
+	case e.cfg.Fleet != nil && int(d.day) < e.cfg.Days:
+		act |= actRefill
+	case e.cfg.FlushAtEnd:
+		e.heap.push(event{at: e.endTime, dev: dev, kind: evFlush})
+		e.met.HeapEvents.Add(1)
+	}
+	return act
+}
+
+// seal freezes the device's loose records into a sealed batch boundary,
+// evicting the oldest sealed batch first when MaxQueuedBatches says so.
+func (e *Engine) seal(d *deviceState) {
+	loose := e.loose(d)
+	if loose == 0 {
+		return
+	}
+	if e.cfg.MaxQueuedBatches > 0 && len(d.batches) >= e.cfg.MaxQueuedBatches {
+		drop := d.batches[0]
+		d.head += int32(drop.n)
+		d.batchedN -= int32(drop.n)
+		copy(d.batches, d.batches[1:])
+		d.batches = d.batches[:len(d.batches)-1]
+		e.met.DroppedBatches.Inc()
+		e.met.DroppedEntries.Add(int64(drop.n))
+		e.met.QueueEntries.Add(-int64(drop.n))
+		e.met.QueueBatches.Add(-1)
+	}
+	d.seq++
+	d.batches = append(d.batches, batchDesc{seq: d.seq, n: uint32(loose)})
+	d.batchedN += int32(loose)
+	e.met.QueueBatches.Add(1)
+}
+
+// refill generates the device's next day into the day-parity arena and
+// schedules its first visit. Growth allocations (arena, scratch) happen
+// here, off the per-event path, and amortize to zero.
+func (e *Engine) refill(dev int32) {
+	d := &e.devs[dev]
+	day := int(d.day)
+	p := day & 1
+	if e.arenaDay[p] != int32(day) {
+		// First device to claim this day: the previous tenant (day-2) is
+		// fully consumed — see the arena invariant on Engine.
+		e.arena[p] = e.arena[p][:0]
+		e.arenaDay[p] = int32(day)
+	}
+	off := len(e.arena[p])
+	e.visitBuf = e.cfg.Fleet.Day(e.cfg.UserBase+int(dev), day, &d.ustate, e.visitBuf[:0], e.scratch)
+	a := e.arena[p]
+	for i := range e.visitBuf {
+		v := &e.visitBuf[i]
+		a = append(a, visit{start: v.Start, dur: v.Dur, addr: v.Loc.Addr, net: uint8(v.Loc.Net)})
+	}
+	e.arena[p] = a
+	d.winDay = uint32(day)
+	d.winOff = uint32(off)
+	d.winLen = uint32(len(a) - off)
+	d.next = 0
+	d.day++
+	e.heap.push(event{at: a[off].start, dev: dev, kind: evVisit})
+	e.met.HeapEvents.Add(1)
+}
+
+// netName maps a rec's net byte to its log-format name without allocating.
+func netName(n uint8) string {
+	return mobility.NetType(n).String()
+}
+
+// buildEntries materializes the next n live records of dev into the shared
+// entry buffer (reused across drains; Uploaders must not retain it).
+func (e *Engine) buildEntries(dev int32, n int) []nomad.Entry {
+	d := &e.devs[dev]
+	id := e.ids[dev]
+	e.entryBuf = e.entryBuf[:0]
+	for _, r := range d.recs[d.head : int(d.head)+n] {
+		e.entryBuf = append(e.entryBuf, nomad.Entry{
+			DeviceID: id,
+			Time:     r.t,
+			IPAddr:   r.addr.String(),
+			NetType:  netName(r.net),
+		})
+	}
+	return e.entryBuf
+}
+
+// drain uploads the device's sealed batches oldest-first, stopping at the
+// first batch that exhausts its retries (it stays queued; not an error).
+// This is the allocating half of the pipeline — strings and retries live
+// here, never in stepVisit.
+func (e *Engine) drain(ctx context.Context, dev int32) error {
+	if e.up == nil {
+		return nil
+	}
+	d := &e.devs[dev]
+	pol := reliable.Policy{
+		MaxAttempts: e.cfg.UploadRetries + 1,
+		Backoff:     e.cfg.Backoff,
+		Rand:        e.cfg.Rand,
+		Sleep:       e.cfg.Sleep,
+		Metrics:     e.cfg.RetryMetrics,
+	}
+	upCtx := ctx
+	if e.cfg.GracefulUploads {
+		upCtx = context.WithoutCancel(ctx)
+	}
+	for len(d.batches) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b := d.batches[0]
+		id := fmt.Sprintf("%s-b%06d", e.ids[dev], b.seq)
+		entries := e.buildEntries(dev, int(b.n))
+		attempts, err := pol.Do(upCtx, func(ctx context.Context) error {
+			return e.up.Upload(ctx, id, entries)
+		})
+		e.attempts += int64(attempts)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			e.met.UploadFailures.Inc()
+			return nil
+		}
+		d.head += int32(b.n)
+		d.batchedN -= int32(b.n)
+		copy(d.batches, d.batches[1:])
+		d.batches = d.batches[:len(d.batches)-1]
+		e.met.BatchesUploaded.Inc()
+		e.met.EntriesUploaded.Add(int64(b.n))
+		e.met.QueueEntries.Add(-int64(b.n))
+		e.met.QueueBatches.Add(-1)
+	}
+	return nil
+}
+
+// FlushAll seals and drains every device — the end-of-study "plug every
+// device in" sweep. It returns how many sealed batches remain queued
+// (non-zero only when uploads kept failing); callers loop until zero.
+func (e *Engine) FlushAll(ctx context.Context) (remaining int, err error) {
+	for i := range e.devs {
+		e.seal(&e.devs[i])
+		if err := e.drain(ctx, int32(i)); err != nil {
+			return e.QueuedBatches(), err
+		}
+		remaining += len(e.devs[i].batches)
+	}
+	return remaining, nil
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"locind/internal/mobility"
+	"locind/internal/nomad"
+)
+
+// TestEngineEquivalentToAgents is the golden cross-check behind the engine:
+// at small scale, replaying the same pre-generated trace through (a) the
+// legacy goroutine-per-device Agent path and (b) the event-heap engine must
+// land byte-identical record streams, batch identities, and server
+// aggregates. Both sides run over real HTTP against a full Server (LogStore
+// and streaming Aggregates together).
+func TestEngineEquivalentToAgents(t *testing.T) {
+	g, pt, dcfg := engineFixture(t, 5)
+	dcfg.Users = 40
+	dt, err := mobility.GenerateDeviceTrace(g, pt, dcfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Legacy path: one Agent per device, sequential (order doesn't matter
+	// — devices are independent and the server dedups per device).
+	legacy := nomad.NewServer()
+	legacy.Agg = nomad.NewAggregates()
+	tsA := httptest.NewServer(legacy)
+	defer tsA.Close()
+	for i := range dt.Users {
+		u := &dt.Users[i]
+		agent := nomad.NewAgent(nomad.NewClient(tsA.URL), fmt.Sprintf("device-%d", u.ID))
+		agent.Sleep = instantSleep
+		if _, err := agent.Replay(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agent.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Engine path: the same trace through the event heap. MaxPending 0
+	// keeps sealing opportunity-driven, so batch boundaries — and with
+	// them every "<dev>-b%06d" identity — match the Agent's exactly.
+	engSrv := nomad.NewServer()
+	engSrv.Agg = nomad.NewAggregates()
+	tsB := httptest.NewServer(engSrv)
+	defer tsB.Close()
+	eng, err := New(Config{
+		Trace:      dt,
+		Uploader:   nomad.NewClient(tsB.URL),
+		Sleep:      instantSleep,
+		FlushAtEnd: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.QueuedBatches(); n != 0 {
+		t.Fatalf("engine left %d batches queued on a clean server", n)
+	}
+
+	// Stored record streams: identical per device, byte for byte.
+	if la, lb := legacy.Store.Len(), engSrv.Store.Len(); la != lb || la == 0 {
+		t.Fatalf("store sizes diverged: legacy %d, engine %d", la, lb)
+	}
+	devsA, devsB := legacy.Store.Devices(), engSrv.Store.Devices()
+	if len(devsA) != len(devsB) || len(devsA) != len(dt.Users) {
+		t.Fatalf("device sets diverged: legacy %d, engine %d, fleet %d",
+			len(devsA), len(devsB), len(dt.Users))
+	}
+	for i, dev := range devsA {
+		if devsB[i] != dev {
+			t.Fatalf("device %d: legacy %s vs engine %s", i, dev, devsB[i])
+		}
+		ea, eb := legacy.Store.ByDevice(dev), engSrv.Store.ByDevice(dev)
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: %d records via agents, %d via engine", dev, len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("%s record %d diverged:\nagent:  %+v\nengine: %+v", dev, j, ea[j], eb[j])
+			}
+		}
+	}
+
+	// Streaming aggregates: identical fleet digest and per-device batch
+	// accounting (same sealing points ⇒ same batch count and last seq).
+	sa, sb := legacy.Agg.Snapshot(), engSrv.Agg.Snapshot()
+	if sa != sb {
+		t.Fatalf("aggregate snapshots diverged:\nagents: %+v\nengine: %+v", sa, sb)
+	}
+	for _, dev := range devsA {
+		da, _ := legacy.Agg.Device(dev)
+		db, _ := engSrv.Agg.Device(dev)
+		if da != db {
+			t.Fatalf("%s aggregates diverged:\nagents: %+v\nengine: %+v", dev, da, db)
+		}
+	}
+	if d := legacy.Store.DuplicateBatches() + engSrv.Store.DuplicateBatches(); d != 0 {
+		t.Fatalf("%d duplicate batches on a clean network", d)
+	}
+}

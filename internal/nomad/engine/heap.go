@@ -1,0 +1,84 @@
+package engine
+
+// event is one scheduled occurrence in device virtual time. The heap orders
+// events by (at, dev, kind), so simultaneous events across devices resolve
+// in device order and the whole schedule is a deterministic function of the
+// workload — the property same-seed soak replay rests on.
+type event struct {
+	at   float64 // virtual time, hours from trace start
+	dev  int32   // engine-local device index
+	kind uint8   // evVisit or evFlush
+}
+
+// Event kinds, in tie-break order: a device's end-of-trace flush sorts
+// after any visit it could coincide with.
+const (
+	evVisit uint8 = iota // process the device's next visit window entry
+	evFlush              // seal and drain everything the device still holds
+)
+
+// less orders events by (at, dev, kind).
+func (a event) less(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.dev != b.dev {
+		return a.dev < b.dev
+	}
+	return a.kind < b.kind
+}
+
+// evHeap is a typed binary min-heap of events. The engine keeps at most one
+// outstanding event per device, so the backing array grows to the device
+// count once and then cycles in place — container/heap's interface
+// indirection (and its per-Push boxing) is exactly what this avoids.
+type evHeap struct {
+	ev []event
+}
+
+// len returns the number of scheduled events.
+func (h *evHeap) len() int { return len(h.ev) }
+
+// push schedules ev.
+//
+//lint:zeroalloc per op once the backing array has grown to capacity
+func (h *evHeap) push(ev event) {
+	h.ev = append(h.ev, ev)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.ev[i].less(h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event. It must not be called on an
+// empty heap.
+//
+//lint:zeroalloc per op; sift-down works in place on the backing array
+func (h *evHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.ev[l].less(h.ev[s]) {
+			s = l
+		}
+		if r < n && h.ev[r].less(h.ev[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.ev[i], h.ev[s] = h.ev[s], h.ev[i]
+		i = s
+	}
+	return top
+}

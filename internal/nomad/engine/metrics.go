@@ -1,0 +1,51 @@
+package engine
+
+import "locind/internal/obs"
+
+// Metrics instruments the event engine. One Metrics may be shared by every
+// shard of a fleet (obs handles are concurrency-safe), in which case the
+// gauges read fleet-wide totals. All handles are nil-safe, so an engine
+// without metrics records nothing and pays only pointer checks in the hot
+// path.
+type Metrics struct {
+	// Events counts processed visit events.
+	Events *obs.Counter
+	// HeapEvents is the number of currently scheduled events (≤ devices).
+	HeapEvents *obs.Gauge
+	// QueueEntries is the number of device-buffered records not yet
+	// stored (loose plus sealed) — the gauge the soak proves flat.
+	QueueEntries *obs.Gauge
+	// QueueBatches is the number of sealed batches awaiting upload.
+	QueueBatches *obs.Gauge
+	// BatchesUploaded and EntriesUploaded count successful stores.
+	BatchesUploaded *obs.Counter
+	EntriesUploaded *obs.Counter
+	// UploadFailures counts drain rounds that exhausted retries — the
+	// batch stays queued for the next opportunity (deferral, not loss).
+	UploadFailures *obs.Counter
+	// DroppedBatches and DroppedEntries count backpressure evictions:
+	// oldest sealed batches discarded because a device hit
+	// MaxQueuedBatches. This is the engine's only source of data loss.
+	DroppedBatches *obs.Counter
+	DroppedEntries *obs.Counter
+}
+
+// NewMetrics registers the engine families on reg. A nil registry yields
+// all-nil handles.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Events:          reg.Counter("locind_nomad_engine_events_total", "visit events processed"),
+		HeapEvents:      reg.Gauge("locind_nomad_engine_heap_events", "events currently scheduled"),
+		QueueEntries:    reg.Gauge("locind_nomad_engine_queue_entries", "device-buffered records awaiting store"),
+		QueueBatches:    reg.Gauge("locind_nomad_engine_queue_batches", "sealed batches awaiting upload"),
+		BatchesUploaded: reg.Counter("locind_nomad_engine_batches_uploaded_total", "batches successfully stored"),
+		EntriesUploaded: reg.Counter("locind_nomad_engine_entries_uploaded_total", "records successfully stored"),
+		UploadFailures:  reg.Counter("locind_nomad_engine_upload_failures_total", "drain rounds that exhausted retries"),
+		DroppedBatches:  reg.Counter("locind_nomad_engine_dropped_batches_total", "sealed batches evicted by backpressure"),
+		DroppedEntries:  reg.Counter("locind_nomad_engine_dropped_entries_total", "records evicted by backpressure"),
+	}
+}
+
+// noMetrics backs engines without metrics so the hot path never branches
+// per handle; its nil fields make every record a no-op.
+var noMetrics = &Metrics{}

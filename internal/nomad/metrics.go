@@ -1,0 +1,38 @@
+package nomad
+
+import "locind/internal/obs"
+
+// AgentMetrics instruments the device-side upload pipeline, shared across a
+// fleet of agents (obs handles are concurrency-safe). All handles are
+// nil-safe, so an agent without metrics records nothing.
+type AgentMetrics struct {
+	// BatchesUploaded and EntriesUploaded count successful stores.
+	BatchesUploaded *obs.Counter
+	EntriesUploaded *obs.Counter
+	// UploadFailures counts upload opportunities that exhausted retries —
+	// "gave up for now", not data loss: the batch stays queued for the
+	// next opportunity. Soak dashboards read this against dropped-batch
+	// counters to separate deferral from hard loss.
+	UploadFailures *obs.Counter
+}
+
+// NewAgentMetrics registers the nomad agent families on reg. A nil registry
+// yields all-nil handles.
+func NewAgentMetrics(reg *obs.Registry) *AgentMetrics {
+	return &AgentMetrics{
+		BatchesUploaded: reg.Counter("locind_nomad_batches_uploaded_total", "batches successfully stored"),
+		EntriesUploaded: reg.Counter("locind_nomad_entries_uploaded_total", "log entries successfully stored"),
+		UploadFailures:  reg.Counter("locind_nomad_upload_failures_total", "upload opportunities that exhausted retries"),
+	}
+}
+
+// noAgentMetrics backs agents without metrics so the upload path never
+// branches per handle; its nil fields make every record a no-op.
+var noAgentMetrics = &AgentMetrics{}
+
+func (a *Agent) m() *AgentMetrics {
+	if a.Obs == nil {
+		return noAgentMetrics
+	}
+	return a.Obs
+}

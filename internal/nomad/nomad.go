@@ -131,9 +131,16 @@ func (s *LogStore) Devices() []string {
 }
 
 // Server is the NomadLog backend: the IP-echo endpoint and the upload
-// endpoint, backed by a LogStore.
+// endpoint, backed by a LogStore and/or streaming Aggregates.
 type Server struct {
+	// Store, when non-nil, retains every uploaded record (O(records)
+	// memory) — right for analysis runs at paper scale.
 	Store *LogStore
+	// Agg, when non-nil, folds uploads into running per-device aggregates
+	// (O(devices) memory) — the only mode that survives million-device
+	// soaks. Store and Agg may be set together; dedup then happens
+	// independently in each (both recognise the same batch IDs).
+	Agg *Aggregates
 	// Tracer, when non-nil, records one span per accepted upload batch,
 	// parented onto the uploading agent's batch span via the trace header.
 	// Nil traces nothing.
@@ -153,9 +160,18 @@ const batchIDHeader = "X-Nomad-Batch-Id"
 // form, so server-side upload spans parent onto the device batch span.
 const traceHeader = "X-Nomad-Trace"
 
-// NewServer constructs the backend.
+// NewServer constructs the backend in full-retention mode.
 func NewServer() *Server {
 	s := &Server{Store: &LogStore{}, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/ip", s.handleIP)
+	s.mux.HandleFunc("/upload", s.handleUpload)
+	return s
+}
+
+// NewStreamingServer constructs the backend in constant-memory mode: uploads
+// fold into Aggregates and no record is retained.
+func NewStreamingServer() *Server {
+	s := &Server{Agg: NewAggregates(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("/ip", s.handleIP)
 	s.mux.HandleFunc("/upload", s.handleUpload)
 	return s
@@ -205,10 +221,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Applying a replayed batch twice would duplicate log entries, so the
-	// store dedups on the batch ID; a duplicate is still a success from
+	// Applying a replayed batch twice would duplicate log entries, so both
+	// backends dedup on the batch ID; a duplicate is still a success from
 	// the device's point of view (its data is safely stored).
-	s.Store.AppendBatch(r.Header.Get(batchIDHeader), batch)
+	batchID := r.Header.Get(batchIDHeader)
+	if s.Store != nil {
+		s.Store.AppendBatch(batchID, batch)
+	}
+	if s.Agg != nil {
+		s.Agg.IngestBatch(batchID, batch)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
