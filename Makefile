@@ -10,7 +10,7 @@ GO ?= go
 # Override for a full sweep:
 #
 #   make bench BENCH_SET='.'
-BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)|NomadEngine
+BENCH_SET ?= WorldBuild|Fig8(Sequential|Parallel)|Fig11[bc](Sequential|Parallel)|StrategyAblation(Sequential|Parallel)|Timelines(Sequential|Parallel)|NomadEngine|SamplerTick
 
 .PHONY: all build test race lint allocguard bench clean
 

@@ -11,6 +11,7 @@ package locind_test
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"locind/internal/expt"
 	"locind/internal/mobility"
 	"locind/internal/nomad/engine"
+	"locind/internal/obs"
 )
 
 var (
@@ -327,4 +329,29 @@ func BenchmarkNomadEngine(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(eng.Steps()), "events/op")
+}
+
+// BenchmarkSamplerTick measures one time-series sampling tick over a
+// registry shaped like the nomad soak's (a few dozen counters and gauges
+// plus one histogram, which expands to five derived series): the cost the
+// dashboard adds to every 200ms of a soak. After the first tick builds the
+// rings, the per-tick path is zero-alloc (the allocguard tests pin it).
+func BenchmarkSamplerTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 16; i++ {
+		c := reg.Counter("bench_ops_total", "ops", "shard", strconv.Itoa(i))
+		g := reg.Gauge("bench_queue_entries", "queue depth", "shard", strconv.Itoa(i))
+		c.Add(int64(i))
+		g.Set(int64(i))
+	}
+	h := reg.Histogram("bench_latency_seconds", "latency", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%97) / 250)
+	}
+	smp := obs.NewSampler(reg, 0)
+	smp.Tick() // cold path: build sources and rings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Tick()
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"locind/internal/expt"
 	"locind/internal/faultnet"
@@ -56,8 +57,27 @@ func main() {
 }
 
 func run(shards, replicas int, seed int64, soak, quick bool, obsAddr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if soak {
-		res, err := expt.RunGNSCluster(seed, quick)
+		// With -obs.addr the soak shares its registry and sampler with the
+		// introspection endpoint, so /debug/dash?by=replica fills in live
+		// while the chaos schedule runs (ticks stay schedule-driven; the
+		// readout is byte-identical with the endpoint on or off).
+		var o *expt.GNSClusterObs
+		if obsAddr != "" {
+			reg := obs.NewRegistry()
+			smp := obs.NewSampler(reg, 0)
+			srv, err := obs.Serve(ctx, obsAddr, obs.NewHandler(obs.HandlerOpts{Reg: reg, Sampler: smp}))
+			if err != nil {
+				return err
+			}
+			defer srv.Close() //nolint:errcheck // the process is exiting
+			fmt.Fprintf(os.Stderr, "gnsd: introspection on http://%s/metrics (dashboard: /debug/dash)\n", srv.Addr())
+			o = &expt.GNSClusterObs{Registry: reg, Sampler: smp}
+		}
+		res, err := expt.RunGNSClusterObserved(seed, quick, o)
 		if err != nil {
 			return err
 		}
@@ -65,22 +85,37 @@ func run(shards, replicas int, seed int64, soak, quick bool, obsAddr string) err
 		if !res.Converged {
 			return fmt.Errorf("soak did not converge to the fault-free reference")
 		}
+		if !res.ChecksOK {
+			return fmt.Errorf("series health checks failed")
+		}
 		return nil
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 
 	var sm *gns.ServerMetrics
 	if obsAddr != "" {
 		reg := obs.NewRegistry()
 		sm = gns.NewServerMetrics(reg)
-		srv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, nil, nil))
+		smp := obs.NewSampler(reg, 0)
+		smp.SetInterval(200 * time.Millisecond)
+		smp.Pre(obs.RuntimeSampler(reg))
+		go func() {
+			tick := time.NewTicker(smp.Interval())
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					smp.Tick()
+				}
+			}
+		}()
+		srv, err := obs.Serve(ctx, obsAddr, obs.NewHandler(obs.HandlerOpts{Reg: reg, Sampler: smp}))
 		if err != nil {
 			return err
 		}
 		defer srv.Close() //nolint:errcheck // the process is exiting
-		fmt.Fprintf(os.Stderr, "gnsd: introspection on http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "gnsd: introspection on http://%s/metrics (dashboard: /debug/dash)\n", srv.Addr())
 	}
 
 	c, err := cluster.Start(ctx, cluster.Config{Shards: shards, Replicas: replicas}, faultnet.NewEnv(seed), sm)

@@ -22,8 +22,10 @@
 //	-obs.linger  keep the introspection endpoint up this long after
 //	             the experiments finish
 //	-report DIR  write a per-phase run profile (RUNREPORT.md +
-//	             runreport.json) into DIR; counter deltas are
-//	             deterministic for a fixed seed, timing columns are not
+//	             runreport.json) and the run's sampled time series
+//	             (timeseries.json, cmd/obsreport input) into DIR; counter
+//	             deltas are deterministic for a fixed seed, timing columns
+//	             and time series are not
 package main
 
 import (
@@ -49,7 +51,7 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 0, "evaluation worker count (0 = GOMAXPROCS); output is identical for any value")
 	flag.StringVar(&o.obsAddr, "obs.addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address (empty = disabled)")
 	flag.DurationVar(&o.obsLinger, "obs.linger", 0, "keep the introspection endpoint up this long after the experiments finish (lets scrapers reach a batch run)")
-	flag.StringVar(&o.report, "report", "", "directory to write the per-phase run profile into (RUNREPORT.md + runreport.json; empty = disabled)")
+	flag.StringVar(&o.report, "report", "", "directory to write the per-phase run profile into (RUNREPORT.md + runreport.json + timeseries.json; empty = disabled)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -141,16 +143,40 @@ func run(args []string, o runOpts) error {
 	var tracer *obs.Tracer
 	var ring *obs.Ring
 	var profiler *obs.Profiler
+	var smp *obs.Sampler
+	var gnsObs *expt.GNSClusterObs
 	if obsAddr != "" || o.report != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs = expt.NewMetrics(reg)
 		par.SetMetrics(par.NewMetrics(reg))
 		begin := time.Now()
+		// The sampler feeds /debug/dash and the -report time-series file;
+		// its ticker is wall-clock but only reads atomic gauge/counter
+		// values, so experiment output stays byte-identical (DESIGN.md §12).
+		smp = obs.NewSampler(reg, 0)
+		smp.SetInterval(200 * time.Millisecond)
+		smp.Pre(obs.RuntimeSampler(reg))
+		gnsObs = &expt.GNSClusterObs{Registry: reg, Sampler: smp}
+		sampStop := make(chan struct{})
+		defer close(sampStop)
+		go func() {
+			tick := time.NewTicker(smp.Interval())
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampStop:
+					return
+				case <-tick.C:
+					smp.Tick()
+				}
+			}
+		}()
 		if obsAddr != "" {
 			ring = obs.NewRing(0)
 			tracer = obs.NewTracer(cfg.Seed, 0)
 			tracer.SetNow(func() time.Duration { return time.Since(begin) })
-			srv, err := obs.Serve(context.Background(), obsAddr, obs.Handler(reg, tracer, ring))
+			srv, err := obs.Serve(context.Background(), obsAddr,
+				obs.NewHandler(obs.HandlerOpts{Reg: reg, Tracer: tracer, Log: ring, Sampler: smp}))
 			if err != nil {
 				return err
 			}
@@ -161,7 +187,7 @@ func run(args []string, o runOpts) error {
 					time.Sleep(obsLinger)
 				}
 			}()
-			fmt.Fprintf(os.Stderr, "obs: introspection on http://%s/metrics\n", srv.Addr())
+			fmt.Fprintf(os.Stderr, "obs: introspection on http://%s/metrics (dashboard: /debug/dash)\n", srv.Addr())
 		}
 		if o.report != "" {
 			profiler = obs.NewProfiler(reg)
@@ -170,7 +196,7 @@ func run(args []string, o runOpts) error {
 			// a profile of the phases that did run is exactly what you want
 			// when debugging the failure.
 			defer func() {
-				if err := writeReport(profiler, o.report); err != nil {
+				if err := writeReport(profiler, smp, o.report); err != nil {
 					fmt.Fprintln(os.Stderr, "locind: writing run report:", err)
 				}
 			}()
@@ -214,7 +240,7 @@ func run(args []string, o runOpts) error {
 
 	if want["gns-cluster"] {
 		ph := profiler.Begin("gns-cluster")
-		res, err := expt.RunGNSCluster(cfg.Seed, quick)
+		res, err := expt.RunGNSClusterObserved(cfg.Seed, quick, gnsObs)
 		ph.End()
 		if err != nil {
 			return err
@@ -332,8 +358,9 @@ func run(args []string, o runOpts) error {
 }
 
 // writeReport renders the profiler's phase record into dir as RUNREPORT.md
-// (human-readable) and runreport.json (machine-readable).
-func writeReport(p *obs.Profiler, dir string) error {
+// (human-readable) and runreport.json (machine-readable), plus the run's
+// time-series rings as timeseries.json (cmd/obsreport input).
+func writeReport(p *obs.Profiler, smp *obs.Sampler, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -343,5 +370,13 @@ func writeReport(p *obs.Profiler, dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, "RUNREPORT.md"), []byte(md.String()), 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "runreport.json"), []byte(js.String()), 0o644)
+	if err := os.WriteFile(filepath.Join(dir, "runreport.json"), []byte(js.String()), 0o644); err != nil {
+		return err
+	}
+	smp.Tick() // final sample so short runs aren't empty
+	ts, err := smp.Dump().JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "timeseries.json"), ts, 0o644)
 }

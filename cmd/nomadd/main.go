@@ -57,6 +57,8 @@ func main() {
 	soakDevices := flag.Int("soak.devices", 1000000, "devices in the soak fleet")
 	soakDays := flag.Int("soak.days", 2, "days of mobility in the soak")
 	soakShards := flag.Int("soak.shards", 0, "engine shards (0 = one per core)")
+	soakSeries := flag.String("soak.series", "", "write the soak's time-series dump (JSON, obsreport input) to this file")
+	obsLinger := flag.Duration("obs.linger", 0, "keep the -obs.addr endpoint (and sampler ticks) alive this long after the soak, so dashboards can be scraped")
 	flag.Parse()
 
 	// Graceful shutdown: first SIGINT/SIGTERM cancels the run context —
@@ -83,7 +85,7 @@ func main() {
 			cfg.Devices = 2000
 			cfg.Days = 2
 		}
-		err = runSoak(ctx, cfg, reg, *obsAddr)
+		err = runSoak(ctx, cfg, reg, *obsAddr, *soakSeries, *obsLinger)
 	} else {
 		err = runAgents(ctx, *addr, *users, *days, *seed, *obsAddr, reg)
 	}
@@ -98,17 +100,19 @@ func main() {
 	}
 }
 
-// serveObs exposes /metrics and /debug/pprof when requested.
-func serveObs(ctx context.Context, obsAddr string, reg *obs.Registry, tracer *obs.Tracer) (func(), error) {
+// serveObs exposes /metrics, /debug/pprof, and (sampler permitting) the
+// /debug/timeseries + /debug/dash pair when requested.
+func serveObs(ctx context.Context, obsAddr string, reg *obs.Registry, tracer *obs.Tracer, smp *obs.Sampler) (func(), error) {
 	if obsAddr == "" {
 		return func() {}, nil
 	}
 	ring := obs.NewRing(0)
-	osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, tracer, ring))
+	h := obs.NewHandler(obs.HandlerOpts{Reg: reg, Tracer: tracer, Log: ring, Sampler: smp})
+	osrv, err := obs.Serve(ctx, obsAddr, h)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("nomadd: introspection on http://%s/metrics\n", osrv.Addr())
+	fmt.Printf("nomadd: introspection on http://%s/metrics (dashboard: /debug/dash)\n", osrv.Addr())
 	return func() { osrv.Close() }, nil //lint:allow errflow the process is exiting
 }
 
@@ -126,15 +130,53 @@ func writeFinalMetrics(reg *obs.Registry) {
 	}
 }
 
-// runSoak drives the event-engine chaos soak.
-func runSoak(ctx context.Context, cfg engine.SoakConfig, reg *obs.Registry, obsAddr string) error {
-	closeObs, err := serveObs(ctx, obsAddr, reg, nil)
+// runSoak drives the event-engine chaos soak. The sampler mounted on
+// /debug/dash is the very one the soak drives, so a browser pointed at
+// -obs.addr watches the same rings the flatness checks judge.
+func runSoak(ctx context.Context, cfg engine.SoakConfig, reg *obs.Registry, obsAddr, seriesPath string, linger time.Duration) error {
+	smp := obs.NewSampler(reg, 0)
+	cfg.Sampler = smp
+	closeObs, err := serveObs(ctx, obsAddr, reg, nil, smp)
 	if err != nil {
 		return err
 	}
 	defer closeObs()
 	fmt.Printf("nomadd: soaking %d devices x %d days (seed %d)\n", cfg.Devices, cfg.Days, cfg.Seed)
 	_, err = engine.RunSoak(ctx, cfg)
+	// The series dump is evidence either way: a failed soak's shape is
+	// exactly what obsreport is for.
+	if seriesPath != "" {
+		js, jerr := smp.Dump().JSON()
+		if jerr == nil {
+			jerr = os.WriteFile(seriesPath, js, 0o644)
+		}
+		if jerr != nil && err == nil {
+			err = fmt.Errorf("writing -soak.series: %w", jerr)
+		} else if jerr == nil {
+			fmt.Printf("nomadd: time-series dump written to %s\n", seriesPath)
+		}
+	}
+	if err == nil && linger > 0 && obsAddr != "" {
+		fmt.Printf("nomadd: lingering %v for dashboard scrapes\n", linger)
+		every := cfg.SampleEvery
+		if every <= 0 {
+			every = 200 * time.Millisecond
+		}
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		deadline := time.NewTimer(linger)
+		defer deadline.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-deadline.C:
+				return nil
+			case <-tick.C:
+				smp.Tick()
+			}
+		}
+	}
 	return err
 }
 
@@ -161,13 +203,31 @@ func runAgents(ctx context.Context, addr string, users, days int, seed int64, ob
 	}
 
 	// Observability: fleet-wide retry counters, upload-outcome counters,
-	// upload traces, and the flight-recorder log on an introspection port.
+	// upload traces, time-series sampling for /debug/dash, and the
+	// flight-recorder log on an introspection port.
 	fleetMetrics := reliable.NewMetrics(reg, "nomad")
 	agentMetrics := nomad.NewAgentMetrics(reg)
 	tracer := obs.NewTracer(seed, 0)
 	begin := time.Now()
 	tracer.SetNow(func() time.Duration { return time.Since(begin) })
-	closeObs, err := serveObs(ctx, obsAddr, reg, tracer)
+	smp := obs.NewSampler(reg, 0)
+	smp.SetInterval(200 * time.Millisecond)
+	smp.Pre(obs.RuntimeSampler(reg))
+	sampStop := make(chan struct{})
+	defer close(sampStop)
+	go func() {
+		tick := time.NewTicker(smp.Interval())
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampStop:
+				return
+			case <-tick.C:
+				smp.Tick()
+			}
+		}
+	}()
+	closeObs, err := serveObs(ctx, obsAddr, reg, tracer, smp)
 	if err != nil {
 		return err
 	}

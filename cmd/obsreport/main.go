@@ -1,0 +1,93 @@
+// Command obsreport turns a /debug/timeseries dump into a compact markdown
+// digest: one row per series with a unicode sparkline and last/min/max, plus
+// the sampler's check verdicts up top. It is the offline companion of the
+// /debug/dash page — the same rings, rendered for a CI artifact or a PR
+// comment instead of a browser.
+//
+// Usage:
+//
+//	obsreport [-o FILE] <dump.json | - | http://host:port/debug/timeseries>
+//
+// The input may be a file written by nomadd -soak.series or locind -report
+// (timeseries.json), "-" for stdin, or an http(s) URL scraped live. The exit
+// status encodes the health verdict: 0 when every series check passed (or no
+// checks were bound), 1 when any check failed, 2 on usage or I/O errors —
+// so a CI step can both upload the digest and gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"locind/internal/obs"
+)
+
+func main() {
+	out := flag.String("o", "", "write the markdown digest to this file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: obsreport [-o FILE] <dump.json | - | URL>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code, err := run(flag.Arg(0), *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run reads, renders, and writes; the int is the process exit code for the
+// health verdict (0 ok, 1 failing checks).
+func run(src, out string) (int, error) {
+	raw, err := read(src)
+	if err != nil {
+		return 0, err
+	}
+	d, err := obs.ParseDump(raw)
+	if err != nil {
+		return 0, err
+	}
+	var b strings.Builder
+	d.WriteMarkdown(&b)
+	if out == "" {
+		fmt.Print(b.String())
+	} else if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+		return 0, err
+	}
+	for _, c := range d.Checks {
+		if !c.OK {
+			fmt.Fprintf(os.Stderr, "obsreport: check %s (%s on %s) FAILED: %s\n", c.Name, c.Kind, c.Series, c.Detail)
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// read fetches the dump bytes from a file, stdin ("-"), or an http(s) URL.
+func read(src string) ([]byte, error) {
+	switch {
+	case src == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(src, "http://"), strings.HasPrefix(src, "https://"):
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close() //nolint:errcheck // read-only GET
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	default:
+		return os.ReadFile(src)
+	}
+}

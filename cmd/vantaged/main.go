@@ -66,8 +66,9 @@ func run(addr string, nodes, domains, days int, seed int64, obsAddr string) erro
 
 	ctx := context.Background()
 
-	// Observability: campaign-wide retry counters, per-node traces, and the
-	// flight-recorder log on an introspection port.
+	// Observability: campaign-wide retry counters, per-node traces,
+	// time-series sampling for /debug/dash, and the flight-recorder log on
+	// an introspection port.
 	var campaignMetrics *reliable.Metrics
 	var tracer *obs.Tracer
 	if obsAddr != "" {
@@ -77,12 +78,29 @@ func run(addr string, nodes, domains, days int, seed int64, obsAddr string) erro
 		begin := time.Now()
 		tracer.SetNow(func() time.Duration { return time.Since(begin) })
 		ring := obs.NewRing(0)
-		osrv, err := obs.Serve(ctx, obsAddr, obs.Handler(reg, tracer, ring))
+		smp := obs.NewSampler(reg, 0)
+		smp.SetInterval(200 * time.Millisecond)
+		smp.Pre(obs.RuntimeSampler(reg))
+		sampStop := make(chan struct{})
+		defer close(sampStop)
+		go func() {
+			tick := time.NewTicker(smp.Interval())
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampStop:
+					return
+				case <-tick.C:
+					smp.Tick()
+				}
+			}
+		}()
+		osrv, err := obs.Serve(ctx, obsAddr, obs.NewHandler(obs.HandlerOpts{Reg: reg, Tracer: tracer, Log: ring, Sampler: smp}))
 		if err != nil {
 			return err
 		}
 		defer osrv.Close() //nolint:errcheck // the process is exiting
-		fmt.Printf("vantaged: introspection on http://%s/metrics\n", osrv.Addr())
+		fmt.Printf("vantaged: introspection on http://%s/metrics (dashboard: /debug/dash)\n", osrv.Addr())
 	}
 
 	ctrl, err := vantage.StartController(ctx, addr)

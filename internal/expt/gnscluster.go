@@ -41,6 +41,20 @@ type GNSClusterResult struct {
 	BindingHash    uint64
 	StateHash      uint64
 	Net            faultnet.Stats
+
+	// SeriesChecks are the obs.SeriesCheck verdicts over the soak's sampled
+	// series (ticked at deterministic points in the schedule, never by a
+	// clock); ChecksOK is their conjunction.
+	SeriesChecks []obs.CheckResult
+	ChecksOK     bool
+}
+
+// GNSClusterObs carries optional observability wiring into the soak: a
+// registry to register the cluster metrics on (e.g. the one behind gnsd's
+// -obs.addr) and a sampler to drive. Either field may be nil.
+type GNSClusterObs struct {
+	Registry *obs.Registry
+	Sampler  *obs.Sampler
 }
 
 // gnsClusterScale fixes the load shape at either CI scale or the full
@@ -56,6 +70,17 @@ func gnsClusterScale(quick bool) (names, shards, replicas int) {
 // faults, runs the chaos schedule, and verifies convergence against the
 // in-memory fault-free reference.
 func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
+	return RunGNSClusterObserved(seed, quick, nil)
+}
+
+// RunGNSClusterObserved is RunGNSCluster with observability wired through:
+// the cluster metrics land on o.Registry and o.Sampler is ticked at fixed
+// points in the schedule (per phase, and every few hundred names inside the
+// sweeps), so the dashboard's per-replica series fill in while the soak
+// runs. Sampling is schedule-driven, not clock-driven: the same seed takes
+// the same number of ticks, and the soak's digest output is byte-identical
+// with observability on or off.
+func RunGNSClusterObserved(seed int64, quick bool, o *GNSClusterObs) (GNSClusterResult, error) {
 	names, shards, replicas := gnsClusterScale(quick)
 	res := GNSClusterResult{Seed: seed, Names: names, Shards: shards, Replicas: replicas}
 
@@ -75,7 +100,17 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 	}
 	defer c.Close()
 
-	reg := obs.NewRegistry()
+	if o == nil {
+		o = &GNSClusterObs{}
+	}
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	smp := o.Sampler
+	if smp == nil {
+		smp = obs.NewSampler(reg, 0)
+	}
 	m := cluster.NewClientMetrics(reg)
 	cl := cluster.NewClient(c.Addrs(), cluster.ClientConfig{
 		Origin: 1,
@@ -89,6 +124,17 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 	cl.HedgeDelay = 10 * time.Millisecond
 	cl.Retries = 0
 	cl.Backoff = reliable.Backoff{}
+
+	// Schedule-driven sampling: one tick every tickEvery names keeps the
+	// series resolution independent of scale (~256 samples per sweep), and
+	// keeps the tick count a pure function of the seed's schedule. The
+	// counters these checks watch must only ever grow; a decrease means a
+	// lost or double-registered handle.
+	tickEvery := max(1, names/256)
+	smp.Check("gnsc-lookups-monotone", "locind_gnscluster_lookups_total", obs.MonotoneNonDecreasing{})
+	smp.Check("gnsc-updates-monotone", "locind_gnscluster_updates_total", obs.MonotoneNonDecreasing{})
+	smp.Check("gnsc-stale-bounded", "locind_gnscluster_stale_served_total",
+		obs.Bounded{Min: 0, Max: float64(2 * names)})
 
 	name := func(i int) string { return fmt.Sprintf("soak-%07d.gns", i) }
 	addrOf := func(i, gen int) netaddr.Addr {
@@ -111,6 +157,9 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 			return res, err
 		}
 		res.SeedRetries += retries
+		if i%tickEvery == 0 {
+			smp.Tick()
+		}
 	}
 
 	// Phase 2 — chaos window: one full shard dies (all R replicas), plus
@@ -131,6 +180,9 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 		default:
 			return res, fmt.Errorf("expt: gns-cluster: chaos update %d: %w", i, err)
 		}
+		if i%(7*tickEvery) == 0 {
+			smp.Tick()
+		}
 	}
 	for i := 0; i < names; i++ {
 		rec, err := cl.Lookup(ctx, name(i))
@@ -139,6 +191,9 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 		}
 		if !rec.Stale {
 			res.FreshServed++
+		}
+		if i%tickEvery == 0 {
+			smp.Tick()
 		}
 	}
 
@@ -182,6 +237,15 @@ func RunGNSCluster(seed int64, quick bool) (GNSClusterResult, error) {
 	res.BreakerRejects = m.BreakerRejects.Value()
 	res.BreakerOpens = m.BreakerOpens.Value()
 	res.Net = env.Stats()
+
+	// Final tick and verdicts: the check count and outcomes are functions of
+	// the schedule, so the Render line stays byte-identical per seed.
+	smp.Tick()
+	res.SeriesChecks = smp.EvalChecks()
+	res.ChecksOK = true
+	for _, chk := range res.SeriesChecks {
+		res.ChecksOK = res.ChecksOK && chk.OK
+	}
 	return res, nil
 }
 
@@ -200,6 +264,11 @@ func (r GNSClusterResult) Render() string {
 		r.Hedges, r.BreakerRejects, r.BreakerOpens)
 	fmt.Fprintf(&b, "  anti-entropy     : %d records repaired post-heal, %d settled by second pass\n",
 		r.Repaired, r.RepairedSettle)
+	checksVerdict := "all OK"
+	if !r.ChecksOK {
+		checksVerdict = "FAILING"
+	}
+	fmt.Fprintf(&b, "  series checks    : %d evaluated, %s\n", len(r.SeriesChecks), checksVerdict)
 	fmt.Fprintf(&b, "  network          : %d attempts; faults injected %+v\n", r.Attempts, r.Net)
 	verdict := "MATCHES the fault-free reference"
 	if !r.Converged {

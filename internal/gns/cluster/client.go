@@ -76,6 +76,7 @@ type Client struct {
 	shards   [][]string
 	origin   uint64
 	breakers [][]*reliable.Breaker
+	repMet   [][]*ReplicaMetrics // resolved by SetMetrics; nil rows no-op
 
 	cache    reliable.Cache[string, cachedRec]
 	attempts atomic.Int64
@@ -127,22 +128,24 @@ func NewClient(addrs [][]string, cfg ClientConfig) *Client {
 		shards:     addrs,
 		origin:     cfg.Origin,
 	}
-	for range addrs {
+	for si := range addrs {
 		row := make([]*reliable.Breaker, len(addrs[0]))
-		for i := range row {
+		for ri := range row {
+			si, ri := si, ri
 			b := &reliable.Breaker{Threshold: cfg.BreakerThreshold, Cooldown: cfg.BreakerCooldown}
 			b.OnTransition = func(from, to reliable.BreakerState) {
 				m := c.Metrics.orNop()
 				switch to {
 				case reliable.BreakerOpen:
 					m.BreakerOpens.Inc()
+					c.replicaMetrics(si, ri).Opens.Inc()
 				case reliable.BreakerHalfOpen:
 					m.BreakerProbes.Inc()
 				case reliable.BreakerClosed:
 					m.BreakerCloses.Inc()
 				}
 			}
-			row[i] = b
+			row[ri] = b
 		}
 		c.breakers = append(c.breakers, row)
 	}
@@ -155,11 +158,32 @@ func NewClient(addrs [][]string, cfg ClientConfig) *Client {
 	return c
 }
 
-// SetMetrics attaches m (may be nil) and re-binds the cache's eviction
-// counter.
+// SetMetrics attaches m (may be nil), re-binds the cache's eviction
+// counter, and resolves the per-replica counter grid so the hot path never
+// takes the registration lock.
 func (c *Client) SetMetrics(m *ClientMetrics, cacheLimit int) {
 	c.Metrics = m
 	c.cache.Bound(cacheLimit, m.orNop().CacheEvictions)
+	c.repMet = nil
+	if m != nil {
+		c.repMet = make([][]*ReplicaMetrics, len(c.shards))
+		for si := range c.shards {
+			row := make([]*ReplicaMetrics, len(c.shards[si]))
+			for ri := range row {
+				row[ri] = m.Replica(si, ri)
+			}
+			c.repMet[si] = row
+		}
+	}
+}
+
+// replicaMetrics returns the resolved per-replica counters for one grid
+// cell, or no-op handles when metrics are unset.
+func (c *Client) replicaMetrics(shard, replica int) *ReplicaMetrics {
+	if c.repMet == nil {
+		return noReplicaMetrics
+	}
+	return c.repMet[shard][replica]
 }
 
 // Attempts returns the total network attempts made — the determinism
@@ -251,6 +275,7 @@ func (c *Client) exchange(ctx context.Context, addr string, req gns.Request, par
 	}
 	resp, attempts, err := gns.Exchange(ctx, addr, req, p)
 	c.attempts.Add(int64(attempts))
+	c.replicaMetrics(shard, replica).Legs.Inc()
 	return resp, err
 }
 
@@ -301,6 +326,7 @@ func (c *Client) Update(ctx context.Context, name string, addrs []netaddr.Addr) 
 			br := c.breakers[shard][r]
 			if !br.Allow() {
 				m.BreakerRejects.Inc()
+				c.replicaMetrics(shard, r).Rejects.Inc()
 				continue
 			}
 			//lint:allow lockflow same-name updates must hold their stripe across the quorum write to keep version vectors unique
@@ -372,6 +398,7 @@ func (c *Client) Lookup(ctx context.Context, name string) (gns.Record, error) {
 		br := c.breakers[shard][r]
 		if !br.Allow() {
 			m.BreakerRejects.Inc()
+			c.replicaMetrics(shard, r).Rejects.Inc()
 			continue
 		}
 		timeout := c.Timeout

@@ -1,10 +1,20 @@
 package cluster
 
-import "locind/internal/obs"
+import (
+	"strconv"
+	"sync"
+
+	"locind/internal/obs"
+)
 
 // ClientMetrics is the observability surface of the cluster client. Every
 // handle is nil-safe, so an unobserved client records nothing.
 type ClientMetrics struct {
+	reg *obs.Registry
+
+	repMu  sync.Mutex
+	repMet map[[2]int]*ReplicaMetrics
+
 	// Lookups and Updates count client operations (not network attempts).
 	Lookups *obs.Counter
 	Updates *obs.Counter
@@ -37,6 +47,7 @@ type ClientMetrics struct {
 // registry yields all-nil handles.
 func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
 	return &ClientMetrics{
+		reg:            reg,
 		Lookups:        reg.Counter("locind_gnscluster_lookups_total", "cluster lookups issued"),
 		Updates:        reg.Counter("locind_gnscluster_updates_total", "cluster updates issued"),
 		Hedges:         reg.Counter("locind_gnscluster_hedges_total", "lookup legs beyond the primary replica"),
@@ -60,4 +71,45 @@ func (m *ClientMetrics) orNop() *ClientMetrics {
 		return noClientMetrics
 	}
 	return m
+}
+
+// ReplicaMetrics is one replica's slice of the client's traffic, labeled
+// shard="<s>",replica="<r>" — the series the dashboard's ?by=replica (or
+// ?by=shard) view groups. Handles are nil-safe.
+type ReplicaMetrics struct {
+	// Legs counts lookup/update legs attempted against this replica.
+	Legs *obs.Counter
+	// Rejects counts legs skipped because this replica's circuit was open.
+	Rejects *obs.Counter
+	// Opens counts this replica's circuit-open transitions.
+	Opens *obs.Counter
+}
+
+// noReplicaMetrics backs unobserved clients; its nil handles no-op.
+var noReplicaMetrics = &ReplicaMetrics{}
+
+// Replica returns (registering on first use) the per-replica counter set
+// for one cell of the routing grid. Safe for concurrent use; an unobserved
+// ClientMetrics hands back no-op handles.
+func (m *ClientMetrics) Replica(shard, replica int) *ReplicaMetrics {
+	if m == nil || m.reg == nil {
+		return noReplicaMetrics
+	}
+	key := [2]int{shard, replica}
+	m.repMu.Lock()
+	defer m.repMu.Unlock()
+	if rm, ok := m.repMet[key]; ok {
+		return rm
+	}
+	if m.repMet == nil {
+		m.repMet = map[[2]int]*ReplicaMetrics{}
+	}
+	labels := []string{"shard", strconv.Itoa(shard), "replica", strconv.Itoa(replica)}
+	rm := &ReplicaMetrics{
+		Legs:    m.reg.Counter("locind_gnscluster_replica_legs_total", "legs attempted against this replica", labels...),
+		Rejects: m.reg.Counter("locind_gnscluster_replica_breaker_rejects_total", "legs skipped by this replica's open circuit", labels...),
+		Opens:   m.reg.Counter("locind_gnscluster_replica_breaker_opens_total", "this replica's circuit-open transitions", labels...),
+	}
+	m.repMet[key] = rm
+	return rm
 }

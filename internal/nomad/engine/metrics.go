@@ -1,6 +1,10 @@
 package engine
 
-import "locind/internal/obs"
+import (
+	"strconv"
+
+	"locind/internal/obs"
+)
 
 // Metrics instruments the event engine. One Metrics may be shared by every
 // shard of a fleet (obs handles are concurrency-safe), in which case the
@@ -30,19 +34,30 @@ type Metrics struct {
 	DroppedEntries *obs.Counter
 }
 
-// NewMetrics registers the engine families on reg. A nil registry yields
-// all-nil handles.
+// NewMetrics registers the unlabeled engine families on reg. A nil
+// registry yields all-nil handles.
 func NewMetrics(reg *obs.Registry) *Metrics {
+	return newMetrics(reg)
+}
+
+// NewShardMetrics registers the engine families labeled shard="<n>", so a
+// sharded soak exposes one series per engine and the dashboard can group
+// them with ?by=shard.
+func NewShardMetrics(reg *obs.Registry, shard int) *Metrics {
+	return newMetrics(reg, "shard", strconv.Itoa(shard))
+}
+
+func newMetrics(reg *obs.Registry, labels ...string) *Metrics {
 	return &Metrics{
-		Events:          reg.Counter("locind_nomad_engine_events_total", "visit events processed"),
-		HeapEvents:      reg.Gauge("locind_nomad_engine_heap_events", "events currently scheduled"),
-		QueueEntries:    reg.Gauge("locind_nomad_engine_queue_entries", "device-buffered records awaiting store"),
-		QueueBatches:    reg.Gauge("locind_nomad_engine_queue_batches", "sealed batches awaiting upload"),
-		BatchesUploaded: reg.Counter("locind_nomad_engine_batches_uploaded_total", "batches successfully stored"),
-		EntriesUploaded: reg.Counter("locind_nomad_engine_entries_uploaded_total", "records successfully stored"),
-		UploadFailures:  reg.Counter("locind_nomad_engine_upload_failures_total", "drain rounds that exhausted retries"),
-		DroppedBatches:  reg.Counter("locind_nomad_engine_dropped_batches_total", "sealed batches evicted by backpressure"),
-		DroppedEntries:  reg.Counter("locind_nomad_engine_dropped_entries_total", "records evicted by backpressure"),
+		Events:          reg.Counter("locind_nomad_engine_events_total", "visit events processed", labels...),
+		HeapEvents:      reg.Gauge("locind_nomad_engine_heap_events", "events currently scheduled", labels...),
+		QueueEntries:    reg.Gauge("locind_nomad_engine_queue_entries", "device-buffered records awaiting store", labels...),
+		QueueBatches:    reg.Gauge("locind_nomad_engine_queue_batches", "sealed batches awaiting upload", labels...),
+		BatchesUploaded: reg.Counter("locind_nomad_engine_batches_uploaded_total", "batches successfully stored", labels...),
+		EntriesUploaded: reg.Counter("locind_nomad_engine_entries_uploaded_total", "records successfully stored", labels...),
+		UploadFailures:  reg.Counter("locind_nomad_engine_upload_failures_total", "drain rounds that exhausted retries", labels...),
+		DroppedBatches:  reg.Counter("locind_nomad_engine_dropped_batches_total", "sealed batches evicted by backpressure", labels...),
+		DroppedEntries:  reg.Counter("locind_nomad_engine_dropped_entries_total", "records evicted by backpressure", labels...),
 	}
 }
 

@@ -7,8 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	"runtime"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +44,11 @@ type SoakConfig struct {
 	// Registry, when non-nil, receives the engine and faultnet metric
 	// families (e.g. for -obs.addr export); nil keeps them private.
 	Registry *obs.Registry
+	// Sampler, when non-nil, is the time-series sampler the soak drives
+	// (it must be built over Registry). nomadd passes the sampler it has
+	// already mounted on /debug/dash, so the live dashboard and the soak's
+	// flatness evidence read the same rings. Nil builds a private one.
+	Sampler *obs.Sampler
 	// Out receives the human/grep-able report lines; nil discards them.
 	Out io.Writer
 }
@@ -81,12 +85,15 @@ type SoakReport struct {
 
 	// Flatness evidence: quarter-median HeapInuse (third vs last quarter)
 	// and queue-entry gauge (second vs last quarter — same phase of the
-	// daily cycle); see the flatness comment in RunSoak.
+	// daily cycle), produced by obs.SeriesCheck over the sampler's rings;
+	// see the flatness comment in RunSoak. SeriesChecks holds the full
+	// verdicts (including any extra checks the caller bound).
 	Samples              int
 	HeapEarly, HeapLate  uint64
 	QueueEarly, QueueLat int64
 	MemFlat, QueueFlat   bool
 	Drained              bool
+	SeriesChecks         []obs.CheckResult
 }
 
 // OK reports whether every soak assertion held: nothing dropped, queues
@@ -95,13 +102,20 @@ func (r *SoakReport) OK() bool {
 	return r.DroppedBatches == 0 && r.Drained && r.MemFlat && r.QueueFlat
 }
 
-// soakSample is one sampler observation.
-type soakSample struct {
-	heap    uint64
-	queueE  int64
-	queueB  int64
-	heapEvs int64
-}
+// Soak check names, as they appear in SoakReport.SeriesChecks, on
+// /debug/timeseries, in obsreport output, and behind /healthz.
+const (
+	// SoakHeapCheck asserts the process heap series went flat.
+	SoakHeapCheck = "soak-heap-flat"
+	// SoakQueueCheck asserts the fleet queue-entries series went flat.
+	SoakQueueCheck = "soak-queue-flat"
+)
+
+// soakHeapSeries and soakQueueSeries are the series keys the checks bind to.
+const (
+	soakHeapSeries  = "locind_runtime_heap_inuse_bytes"
+	soakQueueSeries = "locind_nomad_engine_queue_entries"
+)
 
 // RunSoak drives the soak to completion and writes the report lines to
 // cfg.Out. A non-nil error means the soak could not run or an assertion
@@ -129,7 +143,11 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	met := NewMetrics(reg)
+	smp := cfg.Sampler
+	if smp == nil {
+		smp = obs.NewSampler(reg, 0)
+	}
+	smp.SetInterval(cfg.SampleEvery)
 	prof := obs.NewProfiler(reg)
 	begin := time.Now()                                            //lint:allow determinism wall-clock phase timing is reporting, never simulation state
 	prof.SetNow(func() time.Duration { return time.Since(begin) }) //lint:allow determinism same: profiler phase walls
@@ -174,12 +192,16 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	defer hs.Close()                                    //lint:allow errflow best-effort teardown
 	base := "http://" + ln.Addr().String()
 
-	// One engine per shard over a contiguous device range. Engines share
-	// the metrics (the gauges read fleet-wide) but own their HTTP client,
-	// retry rng, and generation scratch.
+	// One engine per shard over a contiguous device range. Each engine owns
+	// its HTTP client, retry rng, generation scratch — and its own metric
+	// series labeled shard="<i>", so the dashboard's ?by=shard view shows
+	// every engine's queues individually; fleet-wide rollups are derived
+	// per tick below.
 	ranges := par.Shards(cfg.Devices, shards)
 	engines := make([]*Engine, len(ranges))
+	shardMets := make([]*Metrics, len(ranges))
 	for i, r := range ranges {
+		shardMets[i] = NewShardMetrics(reg, i)
 		// Each upload dials fresh, like a device coming online — which is
 		// also what exposes every upload to the per-connection chaos
 		// decisions (a keep-alive pool would sail most of the run through
@@ -204,7 +226,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			MaxQueuedBatches: 64,
 			FlushAtEnd:       true,
 			GracefulUploads:  true,
-			Metrics:          met,
+			Metrics:          shardMets[i],
 		})
 		if err != nil {
 			return nil, err
@@ -212,11 +234,46 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	}
 	ph.End()
 
-	// Gauge sampler: heap in use plus the queue gauges, on a short period.
+	// Time-series sampling: a rollup pre-hook sums the per-shard gauges
+	// into the unlabeled fleet series (the ones the flatness checks watch)
+	// and derives per-shard events/s from counter deltas; the runtime hook
+	// records heap. The soak owns the ticker — the sampler itself is
+	// clock-free — so nomadd's mounted sampler ticks exactly while the
+	// pipeline runs.
+	rollQE := reg.Gauge(soakQueueSeries, "device-buffered records awaiting store")
+	rollQB := reg.Gauge("locind_nomad_engine_queue_batches", "sealed batches awaiting upload")
+	evRate := make([]*obs.Gauge, len(engines))
+	lastEv := make([]int64, len(engines))
+	for i := range engines {
+		evRate[i] = reg.Gauge("locind_nomad_engine_events_per_sec", "visit events processed per second", "shard", strconv.Itoa(i))
+	}
+	tickSecs := cfg.SampleEvery.Seconds()
+	smp.Pre(func() {
+		var qe, qb int64
+		for i, m := range shardMets {
+			qe += m.QueueEntries.Value()
+			qb += m.QueueBatches.Value()
+			ev := m.Events.Value()
+			evRate[i].Set(int64(float64(ev-lastEv[i]) / tickSecs))
+			lastEv[i] = ev
+		}
+		rollQE.Set(qe)
+		rollQB.Set(qb)
+	})
+	smp.Pre(obs.RuntimeSampler(reg))
+
+	// The flatness assertions ride on the series: same windows, same slack
+	// as the original hand-rolled quartile code (see the shape comment
+	// below), now evaluated by obs.SeriesCheck so /healthz degrades live
+	// if a gauge stops being flat mid-run.
+	smp.Check(SoakHeapCheck, soakHeapSeries,
+		obs.Flatness{EarlyQuarter: 2, LateQuarter: 3, RelSlack: 0.25, AbsSlack: 32 << 20})
+	smp.Check(SoakQueueCheck, soakQueueSeries,
+		obs.Flatness{EarlyQuarter: 1, LateQuarter: 3, RelSlack: 1, AbsSlack: 1024})
+
 	var (
-		samples []soakSample
-		stop    = make(chan struct{})
-		smWG    sync.WaitGroup
+		stop = make(chan struct{})
+		smWG sync.WaitGroup
 	)
 	smWG.Add(1)
 	go func() {
@@ -228,14 +285,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			case <-stop:
 				return
 			case <-tick.C:
-				var ms runtime.MemStats
-				runtime.ReadMemStats(&ms)
-				samples = append(samples, soakSample{
-					heap:    ms.HeapInuse,
-					queueE:  met.QueueEntries.Value(),
-					queueB:  met.QueueBatches.Value(),
-					heapEvs: met.HeapEvents.Value(),
-				})
+				smp.Tick()
 			}
 		}
 	}()
@@ -296,18 +346,22 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	}
 	snap := srv.Agg.Snapshot()
 	rep.Records, rep.Batches, rep.DupBatches, rep.Digest = snap.Records, snap.Batches, snap.DupBatches, snap.Digest
-	rep.UploadFailures = met.UploadFailures.Value()
-	rep.DroppedBatches = met.DroppedBatches.Value()
+	var queueBatches int64
+	for _, m := range shardMets {
+		rep.UploadFailures += m.UploadFailures.Value()
+		rep.DroppedBatches += m.DroppedBatches.Value()
+		queueBatches += m.QueueBatches.Value()
+	}
 	rep.Faults = env.Stats()
 	queued := 0
 	for _, e := range engines {
 		queued += e.QueuedBatches()
 	}
-	rep.Drained = queued == 0 && met.QueueBatches.Value() == 0
+	rep.Drained = queued == 0 && queueBatches == 0
 
-	rep.Samples = len(samples)
-	heapQ := quartileMedians(samples, func(s soakSample) uint64 { return s.heap })
-	queueQ := quartileMedians(samples, func(s soakSample) uint64 { return uint64(s.queueE) })
+	// One last tick so even a sub-period run has end-state samples, then
+	// the series checks render the verdicts.
+	smp.Tick()
 	// The two gauges have different shapes, so each gets the comparison
 	// window that catches its leak without tripping on its warm-up:
 	//
@@ -327,11 +381,22 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	//
 	// The constant terms absorb GC phase noise and quantization on
 	// CI-sized runs.
-	rep.HeapEarly, rep.HeapLate = heapQ[2], heapQ[3]
+	rep.SeriesChecks = smp.EvalChecks()
+	for _, c := range rep.SeriesChecks {
+		switch c.Name {
+		case SoakHeapCheck:
+			rep.MemFlat = c.OK
+		case SoakQueueCheck:
+			rep.QueueFlat = c.OK
+		}
+	}
+	heapVals := smp.Values(soakHeapSeries, nil)
+	queueVals := smp.Values(soakQueueSeries, nil)
+	rep.Samples = len(heapVals)
+	heapQ := obs.QuarterMedians(heapVals)
+	queueQ := obs.QuarterMedians(queueVals)
+	rep.HeapEarly, rep.HeapLate = uint64(heapQ[2]), uint64(heapQ[3])
 	rep.QueueEarly, rep.QueueLat = int64(queueQ[1]), int64(queueQ[3])
-	memSlack := rep.HeapEarly/4 + 32<<20
-	rep.MemFlat = rep.HeapLate <= rep.HeapEarly+memSlack
-	rep.QueueFlat = rep.QueueLat <= 2*rep.QueueEarly+1024
 
 	writeSoakReport(out, rep, prof)
 	if !rep.OK() {
@@ -339,30 +404,6 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			rep.DroppedBatches, rep.Drained, rep.MemFlat, rep.QueueFlat)
 	}
 	return rep, nil
-}
-
-// quartileMedians returns the median of each quarter of the samples; the
-// flatness checks in RunSoak pick their comparison windows from it.
-func quartileMedians(samples []soakSample, f func(soakSample) uint64) (qs [4]uint64) {
-	n := len(samples)
-	if n == 0 {
-		return qs
-	}
-	q := n / 4
-	qs[0] = sampleMedian(samples[:min(q+1, n)], f)
-	qs[1] = sampleMedian(samples[q:min(2*q+1, n)], f)
-	qs[2] = sampleMedian(samples[2*q:min(3*q+1, n)], f)
-	qs[3] = sampleMedian(samples[n-q-1:], f)
-	return qs
-}
-
-func sampleMedian(s []soakSample, f func(soakSample) uint64) uint64 {
-	vs := make([]uint64, len(s))
-	for i := range s {
-		vs[i] = f(s[i])
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	return vs[len(vs)/2]
 }
 
 // writeSoakReport renders the grep-able soak evidence. CI keys on the

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteDash renders the /debug/dash page: a fully self-contained HTML
+// dashboard — inline CSS, inline SVG sparklines, zero scripts, zero
+// external fetches — so it works from a firewalled soak box or a saved
+// .html file alike. Liveness comes from a plain meta-refresh.
+//
+// by selects the grouping label: ""/absent groups rows by metric family,
+// while ?by=shard (or replica, zone, …) makes one section per label value
+// — the per-shard view of a nomad soak or the per-replica view of a gns
+// cluster. Series lacking the label collect under an "(unlabeled)" section.
+func WriteDash(b *strings.Builder, s *Sampler, by string) {
+	d := s.Dump()
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	b.WriteString("<meta http-equiv=\"refresh\" content=\"2\">\n")
+	b.WriteString("<title>locind dash</title>\n<style>\n")
+	b.WriteString(`body{font:13px/1.4 monospace;background:#111;color:#ddd;margin:1.5em}
+h1{font-size:1.2em}h2{font-size:1em;color:#8cf;border-bottom:1px solid #333;padding-bottom:.2em}
+table{border-collapse:collapse}td{padding:.15em .8em .15em 0;vertical-align:middle}
+.key{color:#aaa}.val{color:#fff;text-align:right}.ok{color:#6d6}.fail{color:#f66}
+svg{display:block}a{color:#8cf}
+`)
+	b.WriteString("</style></head><body>\n<h1>locind time-series</h1>\n")
+	if d == nil {
+		b.WriteString("<p>sampler disabled</p>\n</body></html>\n")
+		return
+	}
+	fmt.Fprintf(b, "<p>ticks: %d · series: %d · group by: ", d.Ticks, len(d.Series))
+	writeByLinks(b, d, by)
+	b.WriteString(" · <a href=\"/debug/timeseries\">json</a></p>\n")
+
+	if len(d.Checks) > 0 {
+		b.WriteString("<h2>checks</h2>\n<table>\n")
+		for _, c := range d.Checks {
+			cls, verdict := "ok", "ok"
+			if !c.OK {
+				cls, verdict = "fail", "FAIL"
+			}
+			fmt.Fprintf(b, "<tr><td class=\"%s\">%s</td><td>%s</td><td class=\"key\">%s · %s</td></tr>\n",
+				cls, verdict, html.EscapeString(c.Name), html.EscapeString(c.Series), html.EscapeString(c.Detail))
+		}
+		b.WriteString("</table>\n")
+	}
+
+	for _, sec := range groupSeries(d, by) {
+		fmt.Fprintf(b, "<h2>%s</h2>\n<table>\n", html.EscapeString(sec.title))
+		for _, ds := range sec.series {
+			vals := make([]float64, len(ds.Samples))
+			for i, v := range ds.Samples {
+				vals[i] = float64(v)
+			}
+			last, _, _ := seriesStats(vals)
+			fmt.Fprintf(b, "<tr><td class=\"key\">%s</td><td>", html.EscapeString(ds.Key))
+			writeSparkSVG(b, vals)
+			fmt.Fprintf(b, "</td><td class=\"val\">%s</td></tr>\n", fmtSample(last))
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+}
+
+// section is one dashboard grouping: a heading plus its series rows.
+type section struct {
+	title  string
+	series []DumpSeries
+}
+
+// groupSeries partitions the dump's series into dashboard sections — by
+// metric family when by is empty, by label value otherwise — preserving
+// first-seen order inside each section and sorting section titles.
+func groupSeries(d *Dump, by string) []section {
+	order := []string{}
+	bykey := map[string]*section{}
+	add := func(title string, ds DumpSeries) {
+		sec, ok := bykey[title]
+		if !ok {
+			sec = &section{title: title}
+			bykey[title] = sec
+			order = append(order, title)
+		}
+		sec.series = append(sec.series, ds)
+	}
+	for _, ds := range d.Series {
+		if by == "" {
+			add(ds.Name, ds)
+			continue
+		}
+		if v, ok := ds.Labels[by]; ok {
+			add(by+"="+v, ds)
+		} else {
+			add("(unlabeled)", ds)
+		}
+	}
+	sort.Strings(order)
+	out := make([]section, 0, len(order))
+	for _, title := range order {
+		out = append(out, *bykey[title])
+	}
+	return out
+}
+
+// writeByLinks renders the group-by chooser: every label key present in
+// the dump becomes a ?by= link, with the active choice highlighted.
+func writeByLinks(b *strings.Builder, d *Dump, active string) {
+	keys := map[string]bool{}
+	for _, ds := range d.Series {
+		for k := range ds.Labels {
+			keys[k] = true
+		}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	writeByLink(b, "", "family", active)
+	for _, k := range names {
+		b.WriteString(" ")
+		writeByLink(b, k, k, active)
+	}
+}
+
+func writeByLink(b *strings.Builder, key, text, active string) {
+	if key == active {
+		fmt.Fprintf(b, "<b>%s</b>", html.EscapeString(text))
+		return
+	}
+	href := "/debug/dash"
+	if key != "" {
+		href += "?by=" + key
+	}
+	fmt.Fprintf(b, "<a href=\"%s\">%s</a>", href, html.EscapeString(text))
+}
+
+// writeSparkSVG renders one series as an inline SVG sparkline: a polyline
+// over min-max normalized samples (downsampled to the pixel budget), split
+// into segments at non-finite gaps so holes stay visible.
+func writeSparkSVG(b *strings.Builder, vals []float64) {
+	const w, h, pad = 240, 36, 2
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">", w, h, w, h)
+	if len(vals) > w/2 {
+		vals = downsample(vals, w/2)
+	}
+	_, lo, hi := seriesStats(vals)
+	if len(vals) > 0 && !math.IsNaN(lo) {
+		span := hi - lo
+		if span <= 0 {
+			span, lo = 1, lo-0.5 // flat series draws a midline
+		}
+		step := float64(w-2*pad) / float64(max(len(vals)-1, 1))
+		open := false
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if open {
+					b.WriteString("\"/>")
+					open = false
+				}
+				continue
+			}
+			if !open {
+				b.WriteString("<polyline fill=\"none\" stroke=\"#6cf\" stroke-width=\"1.2\" points=\"")
+				open = true
+			}
+			x := pad + float64(i)*step
+			y := float64(h-pad) - (v-lo)/span*float64(h-2*pad)
+			fmt.Fprintf(b, "%.1f,%.1f ", x, y)
+		}
+		if open {
+			b.WriteString("\"/>")
+		}
+	}
+	b.WriteString("</svg>")
+}

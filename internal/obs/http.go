@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -10,19 +11,42 @@ import (
 	"sync"
 )
 
-// Handler mounts the introspection surface on a private mux:
+// HandlerOpts selects which introspection surfaces NewHandler mounts; any
+// nil field simply leaves its endpoints in the explanatory-404 state.
+type HandlerOpts struct {
+	Reg     *Registry
+	Tracer  *Tracer
+	Log     *Ring
+	Sampler *Sampler
+}
+
+// Handler mounts the introspection surface for the common trio; it is
+// NewHandler without a sampler, kept for callers that predate the
+// time-series layer.
+func Handler(reg *Registry, tr *Tracer, log *Ring) http.Handler {
+	return NewHandler(HandlerOpts{Reg: reg, Tracer: tr, Log: log})
+}
+
+// NewHandler mounts the introspection surface on a private mux:
 //
-//	/metrics        Prometheus text exposition of reg
-//	/debug/vars     expvar JSON (reg is bridged in under "locind_obs")
-//	/debug/pprof/*  the standard runtime profiles
-//	/debug/traces   tr's retained spans as JSON; ?format=chrome renders
-//	                Chrome trace_event JSON instead (404 when tr is nil)
-//	/debug/log      log's retained flight-recorder tail (404 when log is nil)
-//	/healthz        200 ok
+//	/metrics           Prometheus text exposition of Reg
+//	/debug/vars        expvar JSON (Reg is bridged in under "locind_obs")
+//	/debug/pprof/*     the standard runtime profiles
+//	/debug/traces      Tracer's retained spans as JSON; ?format=chrome
+//	                   renders Chrome trace_event JSON (404 when nil)
+//	/debug/log         Log's retained flight-recorder tail (404 when nil)
+//	/debug/timeseries  Sampler's ring-buffer series + check verdicts as
+//	                   JSON (404 when nil)
+//	/debug/dash        self-contained HTML dashboard with inline SVG
+//	                   sparklines; ?by=<label> groups per shard/replica
+//	                   (404 when Sampler is nil)
+//	/healthz           200 "ok" — or 503 "degraded" listing the failing
+//	                   series checks when the sampler has any
 //
 // Nothing registers on http.DefaultServeMux, so tests can mount several
 // handlers in one process.
-func Handler(reg *Registry, tr *Tracer, log *Ring) http.Handler {
+func NewHandler(o HandlerOpts) http.Handler {
+	reg, tr, log, sampler := o.Reg, o.Tracer, o.Log, o.Sampler
 	BridgeExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -61,7 +85,43 @@ func Handler(reg *Registry, tr *Tracer, log *Ring) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(log.Bytes()) //nolint:errcheck
 	})
+	mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		if sampler == nil {
+			http.Error(w, "time-series sampling disabled (no sampler attached)", http.StatusNotFound)
+			return
+		}
+		out, err := sampler.Dump().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/dash", func(w http.ResponseWriter, r *http.Request) {
+		if sampler == nil {
+			http.Error(w, "time-series sampling disabled (no sampler attached)", http.StatusNotFound)
+			return
+		}
+		var b strings.Builder
+		WriteDash(&b, sampler, r.URL.Query().Get("by"))
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(b.String())) //nolint:errcheck
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Failing series checks degrade health: a soak whose heap series
+		// stopped being flat should trip the operator's probe, not wait for
+		// the end-of-run report.
+		if ok, failed := sampler.Healthy(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			var b strings.Builder
+			b.WriteString("degraded\n")
+			for _, c := range failed {
+				fmt.Fprintf(&b, "check %s (%s on %s): %s\n", c.Name, c.Kind, c.Series, c.Detail)
+			}
+			w.Write([]byte(b.String())) //nolint:errcheck
+			return
+		}
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
 	return mux

@@ -155,10 +155,16 @@ const (
 	kindHistogram
 )
 
+// labelPair is one structured label, kept alongside the pre-rendered
+// exposition string so the sampler and dashboard can group series by label
+// without re-parsing exposition text.
+type labelPair struct{ K, V string }
+
 // series is one registered time series: a metric handle plus its identity.
 type series struct {
 	name   string // family name
 	labels string // pre-rendered `k="v",k2="v2"`, or ""
+	pairs  []labelPair
 	help   string
 	kind   metricKind
 	c      *Counter
@@ -195,31 +201,37 @@ func validName(s string) bool {
 	return true
 }
 
-// renderLabels turns ("k","v","k2","v2") pairs into the exposition form.
-// Pairs are sorted by key so the same label set always renders — and keys —
-// identically.
-func renderLabels(pairs []string) string {
+// sortLabels turns ("k","v","k2","v2") pairs into sorted structured pairs,
+// so the same label set always renders — and keys — identically.
+func sortLabels(pairs []string) []labelPair {
 	if len(pairs) == 0 {
-		return ""
+		return nil
 	}
 	if len(pairs)%2 != 0 {
 		panic("obs: labels must be key,value pairs")
 	}
-	type kv struct{ k, v string }
-	kvs := make([]kv, 0, len(pairs)/2)
+	kvs := make([]labelPair, 0, len(pairs)/2)
 	for i := 0; i < len(pairs); i += 2 {
 		if !validName(pairs[i]) {
 			panic(fmt.Sprintf("obs: invalid label name %q", pairs[i]))
 		}
-		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+		kvs = append(kvs, labelPair{pairs[i], pairs[i+1]})
 	}
-	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].K < kvs[j].K })
+	return kvs
+}
+
+// renderLabels renders sorted pairs in the exposition form.
+func renderLabels(kvs []labelPair) string {
+	if len(kvs) == 0 {
+		return ""
+	}
 	var b strings.Builder
 	for i, p := range kvs {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		fmt.Fprintf(&b, "%s=%q", p.K, p.V)
 	}
 	return b.String()
 }
@@ -232,7 +244,8 @@ func (r *Registry) register(name, help string, labels []string, kind metricKind)
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
-	ls := renderLabels(labels)
+	pairs := sortLabels(labels)
+	ls := renderLabels(pairs)
 	key := name + "{" + ls + "}"
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -242,7 +255,7 @@ func (r *Registry) register(name, help string, labels []string, kind metricKind)
 		}
 		return s
 	}
-	s := &series{name: name, labels: ls, help: help, kind: kind}
+	s := &series{name: name, labels: ls, pairs: pairs, help: help, kind: kind}
 	r.byKey[key] = s
 	r.series = append(r.series, s)
 	return s
